@@ -1,0 +1,37 @@
+"""Benchmark: algorithm/hardware co-design frontier (C2 workload).
+
+Sweeps the classifier shape (subspace width, ensemble size) and shows the
+accuracy vs sensor-lifetime tradeoff the generated cuts realise.
+"""
+
+from repro.eval.codesign import codesign_rows
+from repro.eval.tables import format_table
+from repro.signals.datasets import load_case
+
+
+def test_codesign_frontier(benchmark, full_context, save_table):
+    dataset = load_case("C2", n_segments=240)
+    rows = benchmark.pedantic(
+        codesign_rows, args=(dataset,), kwargs={"seed": 17}, rounds=1, iterations=1
+    )
+    assert len(rows) == 4
+    # Structural sanity across the sweep:
+    for row in rows:
+        assert 0.5 <= row["accuracy"] <= 1.0
+        assert row["used_features"] <= 56
+        assert row["cross_energy_uj"] > 0
+    # Wider subspaces touch at least as many features as narrow ones
+    # (at equal draw counts and member counts).
+    by_dim = {
+        (r["subspace_dim"], r["n_draws"]): r["used_features"] for r in rows
+    }
+    if (6, 40) in by_dim and (18, 40) in by_dim:
+        assert by_dim[(18, 40)] >= by_dim[(6, 40)]
+    save_table(
+        "codesign",
+        format_table(
+            rows,
+            title="Co-design sweep: classifier shape vs accuracy vs lifetime "
+                  "(C2, 90nm/Model 2)",
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Section 5.5 deep-dive: what the generator actually places where.
+
+The paper inspects the generated cuts qualitatively ("the cut produced by
+the generator arranges a basic SVM classifier to the sensor node and some
+light-weight features onto the aggregator...").  This benchmark prints the
+per-module anatomy of every generated cut, plus the uplink traffic it
+induces, so the reproduction's cuts can be compared against that
+discussion — and asserts the structural invariants that must hold for any
+energy-rational cut.
+"""
+
+from repro.cells.render import render_cut_summary
+from repro.eval.tables import format_table
+
+
+def test_cut_anatomy(benchmark, full_context, save_table):
+    rows = []
+    summaries = []
+    for symbol in full_context.all_cases():
+        topology = full_context.topology(symbol, "90nm")
+        cross = full_context.strategy_metrics(symbol, "90nm", "model2")["cross"]
+        in_sensor = cross.in_sensor
+
+        by_module = {}
+        for name, cell in topology.cells.items():
+            sides = by_module.setdefault(cell.module, [0, 0])
+            sides[0 if name in in_sensor else 1] += 1
+
+        # Structural invariants of a rational cut:
+        # 1. The DWT chain never splits mid-way with a band flowing back
+        #    (a band uplinked is a band whose deeper levels should follow
+        #    or stay; formally: if level k is in the aggregator, level k+1
+        #    is too — its input would otherwise cross twice).
+        dwt_sides = [
+            (int(n.split("dwt_l")[1]), n in in_sensor)
+            for n in topology.cells
+            if n.startswith("dwt_l")
+        ]
+        dwt_sides.sort()
+        seen_aggregator = False
+        for _level, on_sensor in dwt_sides:
+            if not on_sensor:
+                seen_aggregator = True
+            assert not (seen_aggregator and on_sensor), (symbol, dwt_sides)
+        # 2. A Std cell never sits on the opposite side of its Var producer
+        #    with the Var value crossing twice... (its input is 1 scalar, so
+        #    any placement is legal; assert instead that if Std is in-sensor
+        #    its Var predecessor is too — receiving a scalar to sqrt it and
+        #    possibly send it back can never beat computing downstream).
+        for name, cell in topology.cells.items():
+            if cell.module == "std" and name in in_sensor:
+                (var_ref,) = cell.inputs
+                assert var_ref.cell in in_sensor, (symbol, name)
+
+        rows.append(
+            {
+                "case": symbol,
+                "in_sensor": len(in_sensor),
+                "total": len(topology),
+                "svm_in_sensor": by_module.get("svm", [0, 0])[0],
+                "svm_total": sum(by_module.get("svm", [0, 0])),
+                "uplink_bits": cross.crossing_bits_up,
+                "downlink_bits": cross.crossing_bits_down,
+            }
+        )
+        summaries.append(
+            f"--- {symbol} ---\n" + render_cut_summary(topology, in_sensor)
+        )
+
+    benchmark(
+        lambda: full_context.strategy_metrics("C1", "90nm", "model2")["cross"]
+    )
+    save_table(
+        "cut_anatomy",
+        format_table(rows, title="Generated cut anatomy (90nm/Model 2)")
+        + "\n\n"
+        + "\n\n".join(summaries),
+    )

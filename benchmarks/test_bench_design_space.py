@@ -1,0 +1,92 @@
+"""Benchmarks of the design-space tooling beyond the paper's figures.
+
+- Pareto frontier of the delay/energy tradeoff (the Eq. 4 limit is one
+  point of a whole curve);
+- silicon area of the in-sensor analytic part across process nodes (the
+  synthesis-report axis the paper's ASIC flow implies);
+- feature-usage profile of the trained ensembles (the §2.1 claim that
+  random-subspace training finds each biosignal's favourable features).
+"""
+
+from repro.eval.feature_usage import usage_rows
+from repro.eval.pareto import pareto_frontier
+from repro.eval.tables import format_table
+from repro.hw.area import area_report
+
+
+def test_pareto_frontier(benchmark, full_context, save_table):
+    generator = full_context.generator("E1", "90nm", "model2")
+    frontier = benchmark(pareto_frontier, generator, 10)
+
+    delays = [p.delay_s for p in frontier]
+    energies = [p.energy_j for p in frontier]
+    assert delays == sorted(delays)
+    assert energies == sorted(energies, reverse=True)
+
+    rows = [
+        {
+            "delay_limit_ms": p.delay_limit_s * 1e3,
+            "delay_ms": p.delay_s * 1e3,
+            "energy_uj": p.energy_j * 1e6,
+            "in_sensor_cells": len(p.in_sensor),
+        }
+        for p in frontier
+    ]
+    save_table(
+        "pareto",
+        format_table(rows, title="Delay/energy Pareto frontier (E1, 90nm/Model 2)"),
+    )
+
+
+def test_silicon_area(benchmark, full_context, save_table):
+    rows = []
+    for symbol in full_context.all_cases():
+        topology = full_context.topology(symbol, "90nm")
+        cross = full_context.strategy_metrics(symbol, "90nm", "model2")["cross"]
+        full = area_report(topology, "90nm")
+        sensor_part = area_report(topology, "90nm", in_sensor=cross.in_sensor)
+        assert sensor_part.area_mm2 <= full.area_mm2 + 1e-12
+        # A wearable analytic die budget: single-digit mm^2.
+        assert full.area_mm2 < 10.0
+        rows.append(
+            {
+                "case": symbol,
+                "full_engine_mm2": full.area_mm2,
+                "in_sensor_part_mm2": sensor_part.area_mm2,
+                "gate_equivalents": full.gate_equivalents,
+            }
+        )
+    benchmark(area_report, full_context.topology("E1", "90nm"), "90nm")
+    save_table(
+        "silicon_area",
+        format_table(rows, title="In-sensor silicon area at 90nm (estimate)"),
+    )
+
+
+def test_feature_usage_profile(benchmark, full_context, save_table):
+    rows = []
+    for symbol in full_context.all_cases():
+        engine = full_context.engine(symbol)
+        rows.extend(usage_rows(engine.ensemble, engine.layout, symbol))
+    benchmark(
+        usage_rows,
+        full_context.engine("C1").ensemble,
+        full_context.engine("C1").layout,
+        "C1",
+    )
+    # Sanity: every case selects features from more than one domain — the
+    # generic feature set is genuinely exercised.
+    for symbol in full_context.all_cases():
+        case_rows = [
+            r for r in rows if r["case"] == symbol and r["domain"] != "(all DWT)"
+        ]
+        active = [r for r in case_rows if r["selections"] > 0]
+        assert len(active) >= 2, symbol
+    save_table(
+        "feature_usage",
+        format_table(
+            rows,
+            columns=["case", "domain", "selections", "share_pct"],
+            title="Feature-domain usage of the trained ensembles",
+        ),
+    )

@@ -1,0 +1,52 @@
+"""Figure 10 — per-event delay breakdown of the three engines.
+
+Paper shape: every delay is below 4 ms (real-time for sub-kilohertz
+biosignal streams); the aggregator engine has the largest delay, dominated
+by wireless transfer of the raw segment plus back-end processing; the
+sensor engine's wireless share is negligible (it uplinks only the result);
+the cross-end engine reduces delay against both (paper: -60.8% vs A,
+-15.6% vs S on average).
+"""
+
+from repro.eval.experiments import fig10_rows
+from repro.eval.tables import format_table
+
+
+def test_fig10_delay_breakdown(benchmark, full_context, save_table):
+    rows = benchmark(fig10_rows, full_context)
+    by_case = {}
+    for row in rows:
+        by_case.setdefault(row["case"], {})[row["engine"]] = row
+
+    for case, engines in by_case.items():
+        a, s, c = engines["A"], engines["S"], engines["C"]
+        # Real-time bound of the paper.
+        for row in (a, s, c):
+            assert row["total_ms"] < 4.0, (case, row)
+        # Aggregator engine is the slowest and wireless-dominated.
+        assert a["total_ms"] >= max(s["total_ms"], c["total_ms"]), case
+        assert a["wireless_ms"] > a["back_ms"], case
+        assert a["front_ms"] == 0.0
+        # Sensor engine barely uses the link.
+        assert s["wireless_ms"] < 0.05 * a["wireless_ms"], case
+        # Cross-end is never slower than either single end.
+        assert c["total_ms"] <= s["total_ms"] + 1e-9, case
+
+    avg = lambda eng, key: sum(by_case[c][eng][key] for c in by_case) / len(by_case)
+    red_a = 1 - avg("C", "total_ms") / avg("A", "total_ms")
+    red_s = 1 - avg("C", "total_ms") / avg("S", "total_ms")
+
+    save_table(
+        "fig10",
+        format_table(
+            rows,
+            columns=["case", "engine", "front_ms", "wireless_ms", "back_ms", "total_ms"],
+            title=(
+                "Figure 10: delay breakdown (ms), 90nm/Model 2 "
+                f"(cross-end delay reduction: {100 * red_a:.1f}% vs A, "
+                f"{100 * red_s:.1f}% vs S; paper: 60.8% / 15.6%)"
+            ),
+        ),
+    )
+    assert red_a > 0.2
+    assert red_s > 0.0

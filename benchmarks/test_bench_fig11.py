@@ -1,0 +1,44 @@
+"""Figure 11 — sensor-node energy breakdown (computation vs wireless).
+
+Paper shape: the aggregator engine's sensor energy is purely wireless (it
+transmits the whole raw segment); the sensor engine's wireless energy is
+barely visible (result-only uplink); the cross-end engine has the lowest
+total in every benchmark (paper: -31.7% vs the sensor engine, -56.9% vs
+the aggregator engine on average).
+"""
+
+from repro.eval.experiments import fig11_rows
+from repro.eval.tables import format_table
+
+
+def test_fig11_energy_breakdown(benchmark, full_context, save_table):
+    rows = benchmark(fig11_rows, full_context)
+    by_case = {}
+    for row in rows:
+        by_case.setdefault(row["case"], {})[row["engine"]] = row
+
+    for case, engines in by_case.items():
+        a, s, c = engines["A"], engines["S"], engines["C"]
+        assert a["compute_uj"] == 0.0
+        assert a["wireless_uj"] == a["total_uj"]
+        assert s["wireless_uj"] < 0.05 * a["wireless_uj"], case
+        assert c["total_uj"] <= min(a["total_uj"], s["total_uj"]) + 1e-9, case
+
+    avg = lambda eng: sum(by_case[c][eng]["total_uj"] for c in by_case) / len(by_case)
+    saving_s = 1 - avg("C") / avg("S")
+    saving_a = 1 - avg("C") / avg("A")
+
+    save_table(
+        "fig11",
+        format_table(
+            rows,
+            columns=["case", "engine", "compute_uj", "wireless_uj", "total_uj"],
+            title=(
+                "Figure 11: sensor energy breakdown (uJ/event), 90nm/Model 2 "
+                f"(cross-end saving: {100 * saving_a:.1f}% vs A, "
+                f"{100 * saving_s:.1f}% vs S; paper: 56.9% / 31.7%)"
+            ),
+        ),
+    )
+    assert saving_a > 0.3
+    assert saving_s > 0.1

@@ -1,0 +1,43 @@
+"""Figure 13 — per-event energy overhead on the aggregator.
+
+Paper shape: the cross-end engine's aggregator-side energy is well below
+the aggregator engine's ("less than half" in the paper), because it hosts
+fewer software cells and its radio listens for much shorter payloads.  The
+52-hour aggregator-battery figure of Section 5.6 is also sanity-checked.
+"""
+
+from repro.eval.experiments import fig13_rows
+from repro.eval.tables import format_table
+from repro.hw.battery import AGGREGATOR_BATTERY
+
+
+def test_fig13_aggregator_overhead(benchmark, full_context, save_table):
+    rows = benchmark(fig13_rows, full_context)
+
+    for row in rows:
+        assert row["cross_over_aggregator"] <= 1.0 + 1e-9, row
+    mean_ratio = sum(r["cross_over_aggregator"] for r in rows) / len(rows)
+    # Direction reproduced (cross-end strictly lighter on the aggregator);
+    # the paper's >2x magnitude depends on its generator placing SVM
+    # members in-sensor, which our calibrated energy balance does not
+    # always reproduce — see EXPERIMENTS.md, Fig. 13 notes.
+    assert mean_ratio < 0.95
+
+    # Section 5.6: a 2900 mAh aggregator battery sustains XPro for tens of
+    # hours even with a generous 150 mW platform baseline on top of the
+    # analytic load.
+    worst_cross_uj = max(r["cross_uj"] for r in rows)
+    power = worst_cross_uj * 1e-6 / 0.5 + 150e-3  # ~2 events/s + baseline
+    hours = AGGREGATOR_BATTERY.lifetime_hours(power)
+    assert hours > 52
+
+    save_table(
+        "fig13",
+        format_table(
+            rows,
+            title=(
+                "Figure 13: aggregator energy overhead (uJ/event), 90nm/Model 2 "
+                f"(mean C/A ratio {mean_ratio:.2f}; paper: < 0.5)"
+            ),
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Figure 4 — energy characterisation of the three ALU modes per module.
+
+Paper shape: serial is the energy-optimal ("red star") mode for most
+modules, Std and DWT prefer pipeline, and the parallel DWT sits orders of
+magnitude above serial (a monotonic parallel matrix multiply needs a large
+number of simultaneous multipliers).
+"""
+
+from repro.eval.experiments import fig4_rows
+from repro.eval.tables import format_table
+
+
+def test_fig4_mode_characterization(benchmark, full_context, save_table):
+    rows = benchmark(fig4_rows, full_context)
+    by_module = {r["module"]: r for r in rows}
+
+    # Paper shape assertions.
+    for module in ("max", "min", "mean", "var", "czero", "skew", "kurt",
+                   "svm", "fusion"):
+        assert by_module[module]["best_mode"] == "serial", module
+    assert by_module["std"]["best_mode"] == "pipeline"
+    assert by_module["dwt"]["best_mode"] == "pipeline"
+    assert by_module["dwt"]["parallel"] > 30 * by_module["dwt"]["serial"]
+
+    save_table(
+        "fig4",
+        format_table(
+            rows,
+            columns=["module", "serial", "parallel", "pipeline", "best_mode"],
+            title="Figure 4: ALU-mode energy per event (pJ), 90nm",
+        ),
+    )

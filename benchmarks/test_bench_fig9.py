@@ -1,0 +1,41 @@
+"""Figure 9 — sensor battery life vs wireless model (90 nm).
+
+Paper shape: under the high-energy Model 1 radio the sensor engine beats
+the aggregator engine decisively; under the ultra-low-power Model 3 the
+ordering *reverses* (transmitting raw data becomes cheap); the cross-end
+engine has the longest lifetime under every model.
+"""
+
+from repro.eval.experiments import fig9_rows
+from repro.eval.tables import format_table
+
+
+def test_fig9_battery_vs_wireless_model(benchmark, full_context, save_table):
+    rows = benchmark(fig9_rows, full_context)
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["wireless"], []).append(row)
+
+    # Model 1: expensive radio -> sensor engine far ahead of aggregator.
+    for row in by_model["model1"]:
+        assert row["sensor_norm"] > 1.3 * row["aggregator_norm"], row
+
+    # Model 3: cheap radio -> ordering reverses for every case (the paper's
+    # "the aggregator engine reserves the trend": +74.6% over sensor).
+    for row in by_model["model3"]:
+        assert row["aggregator_norm"] > row["sensor_norm"], row
+
+    # Cross-end achieves the best lifetime across the 3 models x 6 cases.
+    for row in rows:
+        best_single = max(row["aggregator_norm"], row["sensor_norm"])
+        assert row["cross_norm"] >= best_single - 1e-9, row
+
+    save_table(
+        "fig9",
+        format_table(
+            rows,
+            columns=["wireless", "case", "aggregator_norm", "sensor_norm", "cross_norm"],
+            title="Figure 9: battery life vs wireless model, 90nm "
+                  "(normalised to aggregator engine under Model 1)",
+        ),
+    )

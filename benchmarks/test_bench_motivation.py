@@ -1,0 +1,33 @@
+"""The §1 motivation study: what a pure in-sensor design gives up.
+
+Compares the simple linear-SVM / cheap-feature classifier (all a front-end
+energy budget affords, per the paper's introduction) against the full
+generic classification on every test case.
+"""
+
+from repro.eval.motivation import motivation_rows
+from repro.eval.tables import format_table
+
+
+def test_generic_classification_beats_simple_in_sensor(
+    benchmark, full_context, save_table
+):
+    rows = benchmark.pedantic(
+        motivation_rows, args=(full_context,), rounds=1, iterations=1
+    )
+    # The generic framework must win on average (it is the paper's entire
+    # premise), and never lose catastrophically on any single case.
+    mean_gap = sum(r["gap_points"] for r in rows) / len(rows)
+    assert mean_gap > 0.0
+    for row in rows:
+        assert row["gap_points"] > -10.0, row
+    save_table(
+        "motivation",
+        format_table(
+            rows,
+            title=(
+                "Motivation (paper S1): simple in-sensor linear classifier vs "
+                f"generic classification (mean gap {mean_gap:.1f} points)"
+            ),
+        ),
+    )

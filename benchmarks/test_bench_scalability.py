@@ -1,0 +1,113 @@
+"""Scalability of the Automatic Generator with topology size.
+
+The paper claims polynomial-time partitioning; this benchmark builds
+synthetic topologies far larger than any real XPro instance (up to ~400
+cells: many parallel feature banks feeding layered classifiers) and
+measures the min-cut solve time, asserting it stays in interactive
+territory and that the solved cuts remain optimal against the evaluator's
+reference cuts.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cells.cell import SOURCE_CELL, FunctionalCell, OutputPort, PortRef
+from repro.cells.topology import CellTopology
+from repro.core.generator import AutomaticXProGenerator
+from repro.eval.tables import format_table
+from repro.hw.energy import ALUMode, EnergyLibrary
+from repro.hw.wireless import WirelessLink
+
+
+def _synthetic_topology(n_banks: int, bank_width: int, seed: int = 0) -> CellTopology:
+    """``n_banks`` parallel feature banks feeding a classifier layer."""
+    rng = np.random.default_rng(seed)
+    cells = []
+    classifier_inputs = []
+    for b in range(n_banks):
+        for w in range(bank_width):
+            name = f"f{b}_{w}"
+            ops = {
+                "add": int(rng.integers(50, 400)),
+                "mul": int(rng.integers(10, 200)),
+            }
+            cells.append(
+                FunctionalCell(
+                    name=name,
+                    module="feature",
+                    op_counts=ops,
+                    mode=ALUMode.SERIAL,
+                    inputs=(PortRef(SOURCE_CELL),),
+                    outputs=(OutputPort("out", 1, 8),),
+                    compute=lambda arrays: {"out": np.zeros(1)},
+                )
+            )
+            classifier_inputs.append(PortRef(name, "out"))
+    # A layer of classifiers, each over a random slice of features.
+    clf_refs = []
+    for c in range(max(2, n_banks // 2)):
+        take = rng.choice(len(classifier_inputs), size=min(8, len(classifier_inputs)), replace=False)
+        name = f"clf{c}"
+        cells.append(
+            FunctionalCell(
+                name=name,
+                module="svm",
+                op_counts={"mul": int(rng.integers(500, 4000)), "super": 20},
+                mode=ALUMode.SERIAL,
+                inputs=tuple(classifier_inputs[int(i)] for i in take),
+                outputs=(OutputPort("out", 1, 8),),
+                compute=lambda arrays: {"out": np.zeros(1)},
+            )
+        )
+        clf_refs.append(PortRef(name, "out"))
+    cells.append(
+        FunctionalCell(
+            name="fusion",
+            module="fusion",
+            op_counts={"mul": len(clf_refs), "add": len(clf_refs)},
+            mode=ALUMode.SERIAL,
+            inputs=tuple(clf_refs),
+            outputs=(OutputPort("out", 1, 8),),
+            compute=lambda arrays: {"out": np.zeros(1)},
+        )
+    )
+    return CellTopology(128, cells, PortRef("fusion", "out"))
+
+
+def test_generator_scales_to_large_topologies(benchmark, save_table):
+    lib = EnergyLibrary("90nm")
+    link = WirelessLink("model2")
+    from repro.hw.aggregator import AggregatorCPU
+
+    cpu = AggregatorCPU()
+    rows = []
+    for n_banks, width in ((4, 4), (8, 8), (16, 12), (24, 16)):
+        topology = _synthetic_topology(n_banks, width)
+        generator = AutomaticXProGenerator(topology, lib, link, cpu)
+        t0 = time.perf_counter()
+        partition = generator.min_cut_partition()
+        solve_ms = (time.perf_counter() - t0) * 1e3
+        metrics = generator.evaluate(partition.in_sensor)
+        refs = generator.reference_metrics()
+        assert metrics.sensor_total_j <= min(
+            m.sensor_total_j for m in refs.values()
+        ) + 1e-15
+        rows.append(
+            {
+                "cells": len(topology),
+                "solve_ms": solve_ms,
+                "in_sensor": len(partition.in_sensor),
+                "energy_uj": metrics.sensor_total_j * 1e6,
+            }
+        )
+        assert solve_ms < 30_000  # interactive even at ~400 cells
+
+    big = _synthetic_topology(16, 12)
+    generator = AutomaticXProGenerator(big, lib, link, cpu)
+    benchmark(generator.min_cut_partition)
+
+    save_table(
+        "scalability",
+        format_table(rows, title="Min-cut solve time vs topology size"),
+    )

@@ -1,0 +1,78 @@
+"""Robustness of the reproduced conclusions to the calibration constant.
+
+DESIGN.md documents a single calibrated constant (`DEFAULT_CALIBRATION`,
+the computation-energy multiplier anchored to the paper's 130 nm
+crossover).  A reproduction whose conclusions only hold at one magic value
+would be fragile; this benchmark sweeps the constant across a 4x range and
+asserts the qualitative claims survive:
+
+- the cross-end cut is never worse than the feasible single-end engines;
+- the Fig. 9 Model-1 vs Model-3 ordering flip persists;
+- the cross-end advantage over the aggregator engine stays material.
+"""
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.eval.tables import format_table
+from repro.graph.cuts import aggregator_cut, sensor_cut
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import evaluate_partition
+
+
+def test_calibration_sensitivity(benchmark, full_context, save_table):
+    engine = full_context.engine("E1")
+    cpu = full_context.cpu
+    rows = []
+    for calibration in (0.5, 0.95, 2.0):
+        lib = EnergyLibrary("90nm", calibration=calibration)
+        topology = engine.build_topology(lib)
+
+        def _metrics(link_name, in_sensor=None):
+            link = WirelessLink(link_name)
+            if in_sensor is None:
+                gen = AutomaticXProGenerator(topology, lib, link, cpu)
+                return gen.generate().metrics
+            return evaluate_partition(topology, in_sensor, lib, link, cpu)
+
+        cross = _metrics("model2")
+        sensor = _metrics("model2", sensor_cut(topology))
+        agg = _metrics("model2", aggregator_cut(topology))
+
+        # Invariant 1: never worse than the feasible single ends.
+        limit = min(sensor.delay_total_s, agg.delay_total_s) * (1 + 1e-9)
+        for m in (sensor, agg):
+            if m.delay_total_s <= limit:
+                assert cross.sensor_total_j <= m.sensor_total_j + 1e-15
+
+        # Invariant 2: the radio-cost ordering flip (Model 1 vs Model 3).
+        s_m1 = _metrics("model1", sensor_cut(topology)).sensor_total_j
+        a_m1 = _metrics("model1", aggregator_cut(topology)).sensor_total_j
+        s_m3 = _metrics("model3", sensor_cut(topology)).sensor_total_j
+        a_m3 = _metrics("model3", aggregator_cut(topology)).sensor_total_j
+        assert s_m1 < a_m1  # expensive radio: in-sensor wins
+        assert a_m3 < s_m3  # cheap radio: in-aggregator wins
+
+        rows.append(
+            {
+                "calibration": calibration,
+                "cross_uj": cross.sensor_total_j * 1e6,
+                "sensor_uj": sensor.sensor_total_j * 1e6,
+                "aggregator_uj": agg.sensor_total_j * 1e6,
+                "gain_vs_aggregator": agg.sensor_total_j / cross.sensor_total_j,
+            }
+        )
+        # Invariant 3: material advantage over raw streaming at every scale.
+        assert rows[-1]["gain_vs_aggregator"] > 1.3
+
+    lib = EnergyLibrary("90nm", calibration=0.95)
+    topology = engine.build_topology(lib)
+    gen = AutomaticXProGenerator(topology, lib, WirelessLink("model2"), cpu)
+    benchmark(gen.generate)
+
+    save_table(
+        "calibration_sensitivity",
+        format_table(
+            rows,
+            title="Sensitivity: conclusions across a 4x calibration range (E1, 90nm)",
+        ),
+    )

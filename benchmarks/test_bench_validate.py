@@ -1,0 +1,18 @@
+"""The single green light: every qualitative paper claim at full scale.
+
+Runs the programmatic validation suite (the same checks `python -m repro
+validate` exposes) against the full-scale harness and writes the pass/fail
+table.  Quantitative factor bands live in the per-figure benches; this is
+the one-stop summary artifact.
+"""
+
+from repro.eval.validation_suite import summarize, validate_reproduction
+
+
+def test_all_claims_hold_at_full_scale(benchmark, full_context, save_table):
+    results = benchmark.pedantic(
+        validate_reproduction, args=(full_context,), rounds=1, iterations=1
+    )
+    failures = [r for r in results if not r.passed]
+    assert not failures, summarize(failures)
+    save_table("validation", summarize(results))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Design-space exploration: process nodes x wireless radios x cut strategies.
+
+Reproduces the paper's architectural exploration (Sections 5.1-5.2) on one
+test case: for every combination of process technology and transceiver, it
+compares the two single-end engines, the trivial feature/classifier cut and
+the Automatic-XPro-Generator cut, and shows which functional cells the
+generator chose to keep on the sensor.
+
+Run:  python examples/design_space_explorer.py [CASE]
+"""
+
+import sys
+
+from repro.eval.context import ExperimentContext
+from repro.core.pipeline import TrainingConfig
+from repro.eval.tables import format_table
+from repro.sim.lifetime import (
+    MODALITY_SAMPLE_RATES,
+    battery_lifetime_hours,
+    event_period_s,
+)
+from repro.signals.datasets import TABLE1_CASES
+
+
+def main() -> None:
+    symbol = (sys.argv[1] if len(sys.argv) > 1 else "E1").upper()
+    spec = TABLE1_CASES[symbol]
+    period = event_period_s(
+        spec.segment_length, MODALITY_SAMPLE_RATES[spec.modality]
+    )
+
+    print(f"Exploring the XPro design space for case {symbol} "
+          f"({spec.source_name})...\n")
+    ctx = ExperimentContext(
+        n_segments=240, training=TrainingConfig(n_draws=40, seed=42)
+    )
+
+    rows = []
+    for node in ("130nm", "90nm", "45nm"):
+        for wireless in ("model1", "model2", "model3"):
+            metrics = ctx.strategy_metrics(symbol, node, wireless)
+            row = {"node": node, "radio": wireless}
+            for strategy in ("aggregator", "sensor", "trivial", "cross"):
+                hours = battery_lifetime_hours(
+                    metrics[strategy].sensor_total_j, period
+                )
+                row[f"{strategy}_h"] = hours
+            row["gain_vs_best_single"] = row["cross_h"] / max(
+                row["aggregator_h"], row["sensor_h"]
+            )
+            rows.append(row)
+
+    print(format_table(
+        rows,
+        title=f"Sensor battery life (hours), case {symbol}",
+        float_format="{:.4g}",
+    ))
+
+    # Show what the generator actually placed on the sensor at the default
+    # configuration, per module family.
+    print("\nGenerator cut at 90nm / Model 2:")
+    topo = ctx.topology(symbol, "90nm")
+    cross = ctx.strategy_metrics(symbol, "90nm", "model2")["cross"]
+    by_module = {}
+    for name in sorted(topo.cells):
+        module = topo.cell(name).module
+        side = "sensor" if name in cross.in_sensor else "aggregator"
+        by_module.setdefault(module, {"sensor": 0, "aggregator": 0})[side] += 1
+    for module, sides in sorted(by_module.items()):
+        print(f"  {module:8s}: {sides['sensor']} in-sensor, "
+              f"{sides['aggregator']} in-aggregator")
+    print(f"\n  uplink traffic : {cross.crossing_bits_up} bits/event")
+    print(f"  sensor energy  : {cross.sensor_total_j * 1e6:.3f} uJ/event "
+          f"(vs {ctx.strategy_metrics(symbol, '90nm', 'model2')['sensor'].sensor_total_j * 1e6:.3f} "
+          f"all-in-sensor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Streaming cardiac-abnormality monitor — the paper's motivating scenario.
+
+Section 1: *"A wearable heart monitor with an abnormality analytic engine,
+rather than in the cloud, can detect cardiac arrests in real-time."*  This
+example runs exactly that system:
+
+1. a continuous ECG sample stream arrives in irregular ADC bursts;
+2. the acquisition buffer re-segments it into analysis windows;
+3. the partitioned cross-end engine classifies every window in place;
+4. the discrete-event simulator confirms the deployment sustains the
+   acquisition rate, and the battery model projects the sensor lifetime.
+
+Run:  python examples/ecg_monitor.py
+"""
+
+import numpy as np
+
+from repro import XProSystem
+from repro.signals.segmentation import segment_stream
+from repro.sim.lifetime import battery_lifetime_hours, event_period_s
+from repro.sim.simulator import CrossEndSimulator
+
+SAMPLE_RATE_HZ = 250.0
+
+
+def ecg_sample_stream(system, n_beats, rng):
+    """Yield ADC bursts of a continuous ECG with occasional abnormal beats."""
+    generator = system.dataset.spec.make_generator()
+    truth = []
+    for _ in range(n_beats):
+        label = int(rng.random() < 0.15)  # 15% abnormal beats
+        truth.append(label)
+        beat = generator.generate(rng, label)
+        # The ADC DMA delivers irregular burst sizes, not neat segments.
+        pos = 0
+        while pos < len(beat):
+            size = int(rng.integers(5, 40))
+            yield beat[pos : pos + size]
+            pos += size
+    ecg_sample_stream.truth = truth  # stashed for the report
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    print("Deploying an XPro heart monitor (C1 / TwoLeadECG, 90 nm, Model 2)...")
+    system = XProSystem.for_case("C1", n_segments=240)
+    window = system.dataset.segment_length
+
+    print(f"Cross-end partition: {len(system.partition.in_sensor)} of "
+          f"{len(system.topology)} cells on the wristband sensor\n")
+
+    n_beats = 40
+    detections = []
+    stream = ecg_sample_stream(system, n_beats, rng)
+    for segment in segment_stream(stream, window):
+        detections.append(system.classify(segment))
+    truth = ecg_sample_stream.truth[: len(detections)]
+
+    hits = sum(int(d == t) for d, t in zip(detections, truth))
+    abnormal = [i for i, d in enumerate(detections) if d == 1]
+    print(f"Processed {len(detections)} heartbeats from the live stream")
+    print(f"  window agreement with ground truth: {hits}/{len(detections)}")
+    print(f"  abnormal beats flagged at indices : {abnormal}")
+
+    # Real-time feasibility and battery projection.
+    period = event_period_s(window, SAMPLE_RATE_HZ)
+    report = CrossEndSimulator(system.metrics, period_s=period).run(500)
+    print(f"\nReal-time check over 500 windows at {SAMPLE_RATE_HZ:.0f} Hz sampling:")
+    print(f"  mean end-to-end latency : {report.mean_latency_s * 1e3:.3f} ms")
+    print(f"  worst latency           : {report.max_latency_s * 1e3:.3f} ms")
+    print(f"  deadline misses         : {report.deadline_misses}")
+
+    hours = battery_lifetime_hours(system.metrics.sensor_total_j, period)
+    refs = system.generator.reference_metrics()
+    base = battery_lifetime_hours(refs["aggregator"].sensor_total_j, period)
+    print(f"\nProjected 40 mAh battery life: {hours:.0f} h "
+          f"({hours / base:.2f}x the stream-everything design)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""repro — reproduction of XPro (ISCA 2017).
+
+**XPro: A Cross-End Processing Architecture for Data Analytics in
+Wearables** embeds a generic biosignal classification pipeline into a
+wearable system by partitioning fine-grained functional cells between a
+battery-constrained sensor node and a data aggregator, using an automatic
+min-cut-based generator.  This library implements the whole stack from
+scratch: synthetic biosignal workloads, the DSP/ML pipeline, functional-cell
+hardware models, the s-t graph partitioner, a cross-end system simulator and
+the full evaluation harness.
+
+Quickstart::
+
+    from repro import XProSystem
+
+    system = XProSystem.for_case("C1")          # train + generate partition
+    print(system.partition.in_sensor)           # cells placed on the sensor
+    print(system.metrics.sensor_total_j)        # energy per event, joules
+    pred = system.classify(system.dataset.segments[0])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    AutomaticXProGenerator,
+    CrossEndEngine,
+    CrossEndResult,
+    FeatureLayout,
+    GeneratorResult,
+    Partition,
+    TrainedAnalyticEngine,
+    TrainingConfig,
+    train_analytic_engine,
+)
+from repro.cells.topology import CellTopology
+from repro.errors import XProError
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import ALUMode, EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+from repro.signals.datasets import BiosignalDataset, load_case
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALUMode",
+    "AggregatorCPU",
+    "AutomaticXProGenerator",
+    "BiosignalDataset",
+    "CellTopology",
+    "CrossEndEngine",
+    "CrossEndResult",
+    "EnergyLibrary",
+    "FeatureLayout",
+    "GeneratorResult",
+    "Partition",
+    "PartitionMetrics",
+    "TrainedAnalyticEngine",
+    "TrainingConfig",
+    "WirelessLink",
+    "XProError",
+    "XProSystem",
+    "evaluate_partition",
+    "load_case",
+    "train_analytic_engine",
+]
+
+
+@dataclass
+class XProSystem:
+    """A fully assembled XPro instance: data, classifier, partition, engine.
+
+    Build one with :meth:`for_case`; then :meth:`classify` runs segments
+    through the partitioned cross-end engine, and :attr:`metrics` carries
+    the per-event energy/delay figures of the generated partition.
+    """
+
+    dataset: BiosignalDataset
+    trained: TrainedAnalyticEngine
+    topology: CellTopology
+    generator: AutomaticXProGenerator
+    result: GeneratorResult
+    engine: CrossEndEngine
+
+    @classmethod
+    def for_case(
+        cls,
+        symbol: str = "C1",
+        node: str = "90nm",
+        wireless: str = "model2",
+        n_segments: Optional[int] = 240,
+        training: Optional[TrainingConfig] = None,
+        delay_limit_s: Optional[float] = None,
+    ) -> "XProSystem":
+        """Train, build and partition an XPro instance for one test case.
+
+        Args:
+            symbol: Table 1 case symbol (C1, C2, E1, E2, M1, M2).
+            node: Process technology of the sensor ("130nm"/"90nm"/"45nm").
+            wireless: Transceiver model ("model1"/"model2"/"model3").
+            n_segments: Dataset subsample (None = full Table 1 size).
+            training: Training protocol overrides.
+            delay_limit_s: Explicit delay constraint; default is the
+                paper's Eq. 4 limit.
+        """
+        dataset = load_case(symbol, n_segments)
+        trained = train_analytic_engine(dataset, training)
+        energy_lib = EnergyLibrary(node)
+        topology = trained.build_topology(energy_lib)
+        generator = AutomaticXProGenerator(
+            topology, energy_lib, WirelessLink(wireless), AggregatorCPU()
+        )
+        result = generator.generate(delay_limit_s=delay_limit_s)
+        engine = CrossEndEngine(topology, result.partition)
+        return cls(
+            dataset=dataset,
+            trained=trained,
+            topology=topology,
+            generator=generator,
+            result=result,
+            engine=engine,
+        )
+
+    @property
+    def partition(self) -> Partition:
+        """The generated cross-end partition."""
+        return self.result.partition
+
+    @property
+    def metrics(self) -> PartitionMetrics:
+        """Per-event energy/delay metrics of the generated partition."""
+        return self.result.metrics
+
+    def classify(self, segment: np.ndarray) -> int:
+        """Classify one raw segment through the cross-end engine."""
+        return self.engine.classify(segment).prediction
+
+    def accuracy(self) -> float:
+        """Cross-end engine accuracy over the system's whole dataset."""
+        preds = self.engine.classify_batch(self.dataset.segments)
+        return float(np.mean(preds == self.dataset.labels))

@@ -1,0 +1,375 @@
+"""Cell constructors for every module family + ALU-mode selection (Fig. 4).
+
+The generic classification decomposes into four module families:
+
+- **statistical feature cells** (8 kinds) operating on a segment port;
+- **DWT level cells**, each consuming an approximation band and producing
+  the next approximation + detail bands;
+- **SVM member cells**, consuming the feature values of their random
+  subspace (normalisation folded in) and producing one decision score;
+- **the score-fusion cell**, consuming all member scores and producing the
+  final classification score.
+
+Two of the paper's three heuristic design rules live here:
+
+- *ALU mode selection* (rule 2): every constructor asks
+  :func:`choose_alu_mode` for the module's energy-optimal monotonic mode
+  under the target :class:`~repro.hw.energy.EnergyLibrary`.  For the DWT the
+  realisation itself is mode-dependent — serial/parallel are matrix
+  multiplications, pipeline is a filter bank — which is what makes its
+  parallel mode two orders of magnitude more expensive (Fig. 4).
+- *cell-level reuse* (rule 3): the Std cell consumes the Var cell's output
+  and adds only a square root (Fig. 5); the pipeline builder instantiates
+  the Var predecessor automatically.
+
+Feature cells emit raw (unnormalised) feature values; the [0, 1] min-max
+normalisation of Section 4.4 is folded into the consuming SVM member cells
+as a per-input affine (1 sub, 1 mul, 2 clip-compares), the way a hardware
+implementation would fuse a constant affine into the kernel datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.cell import (
+    FEATURE_BITS,
+    RESULT_BITS,
+    VALUE_BITS,
+    FunctionalCell,
+    OutputPort,
+    PortRef,
+)
+from repro.dsp import features as feat
+from repro.dsp.wavelet import WaveletFilter, dwt_single_level
+from repro.errors import ConfigurationError
+from repro.hw.energy import ALUMode, EnergyLibrary
+from repro.ml.fusion import WeightedVotingFusion
+from repro.ml.svm import SVMClassifier
+
+
+def _merge_counts(*counts: Mapping[str, int]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for mapping in counts:
+        for op, count in mapping.items():
+            out[op] = out.get(op, 0) + count
+    return out
+
+
+def choose_alu_mode(
+    op_counts_by_mode: Mapping[ALUMode, Mapping[str, int]],
+    energy_lib: EnergyLibrary,
+    parallel_width: Optional[int] = None,
+) -> Tuple[ALUMode, Dict[str, int]]:
+    """Pick the energy-optimal ALU mode for one module (design rule 2).
+
+    Args:
+        op_counts_by_mode: Op counts of the module's realisation per mode
+            (identical mappings for algorithms that do not change with the
+            mode).
+        energy_lib: Energy model deciding the optimum.
+        parallel_width: Unit replication width for PARALLEL mode.
+
+    Returns:
+        ``(mode, op_counts)`` of the cheapest mode.
+    """
+    best_mode: Optional[ALUMode] = None
+    best_energy = float("inf")
+    for mode in ALUMode:
+        counts = op_counts_by_mode.get(mode)
+        if counts is None:
+            continue
+        energy = energy_lib.cell_cost(counts, mode, parallel_width).energy_j
+        if energy < best_energy:
+            best_energy = energy
+            best_mode = mode
+    if best_mode is None:
+        raise ConfigurationError("no ALU mode candidates supplied")
+    return best_mode, dict(op_counts_by_mode[best_mode])
+
+
+def _uniform_modes(counts: Mapping[str, int]) -> Dict[ALUMode, Mapping[str, int]]:
+    """The common case: the algorithm is the same in every mode."""
+    return {mode: counts for mode in ALUMode}
+
+
+# -- statistical feature cells --------------------------------------------------
+
+
+def make_feature_cell(
+    feature_name: str,
+    segment_ref: PortRef,
+    segment_length: int,
+    energy_lib: EnergyLibrary,
+    name: Optional[str] = None,
+) -> FunctionalCell:
+    """Build one statistical feature cell reading a segment port.
+
+    For ``"std"`` the returned cell expects the *Var cell's output* as its
+    input (cell-level reuse, Fig. 5) — pass the Var cell's port as
+    ``segment_ref`` and the original segment length for the op model.
+    """
+    if feature_name not in feat.FEATURE_NAMES:
+        raise ConfigurationError(f"unknown feature {feature_name!r}")
+    counts = feat.operation_counts(feature_name, segment_length)
+    mode, chosen = choose_alu_mode(
+        _uniform_modes(counts), energy_lib, parallel_width=min(64, segment_length)
+    )
+    cell_name = name or f"{feature_name}@{segment_ref.cell}.{segment_ref.port}"
+
+    if feature_name == "std":
+
+        def compute(inputs: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+            variance = float(np.atleast_1d(inputs[0])[0])
+            return {"out": np.array([np.sqrt(max(variance, 0.0))])}
+
+    else:
+        func = {
+            "max": feat.maximum,
+            "min": feat.minimum,
+            "mean": feat.mean,
+            "var": feat.variance,
+            "czero": feat.zero_crossings,
+            "skew": feat.skewness,
+            "kurt": feat.kurtosis,
+        }[feature_name]
+
+        def compute(inputs: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+            return {"out": np.array([func(inputs[0])])}
+
+    return FunctionalCell(
+        name=cell_name,
+        module=feature_name,
+        op_counts=chosen,
+        mode=mode,
+        inputs=(segment_ref,),
+        outputs=(OutputPort("out", 1, FEATURE_BITS),),
+        compute=compute,
+        parallel_width=min(64, segment_length),
+    )
+
+
+# -- DWT cells -------------------------------------------------------------------
+
+
+def dwt_op_counts(input_length: int, taps: int, mode: ALUMode) -> Dict[str, int]:
+    """Op counts of one DWT level in the given mode's realisation.
+
+    Pipeline realises the level as a polyphase filter bank (``taps``
+    multiplies per output sample); serial and parallel realise it as the
+    dense transform-matrix multiplication the paper describes ("the DWT is a
+    matrix multiplication"), which is what makes those modes so expensive.
+    """
+    m = int(input_length)
+    if m < 2 or m % 2:
+        raise ConfigurationError("DWT input length must be even and >= 2")
+    if mode is ALUMode.PIPELINE:
+        return {"mul": m * taps, "add": m * max(taps - 1, 1)}
+    return {"mul": m * m, "add": m * (m - 1)}
+
+
+def make_dwt_cell(
+    level: int,
+    input_ref: PortRef,
+    input_length: int,
+    energy_lib: EnergyLibrary,
+    wavelet: WaveletFilter | str = "haar",
+    align_to: Optional[int] = None,
+) -> FunctionalCell:
+    """Build the DWT cell for one decomposition level.
+
+    Outputs two ports, ``approx`` and ``detail``, each of half the input
+    length — they are distinct data items for the partitioner, because a
+    cross-end cut may need to transmit one band but not the other.
+
+    Args:
+        level: Decomposition level (1-based; used in the cell name).
+        input_ref: Producer port of the band to decompose.
+        input_length: Length of the band *as processed* (i.e. after
+            alignment for level 1).
+        energy_lib: Energy model for mode selection.
+        wavelet: Filter family.
+        align_to: If given (level 1 only), the compute function first
+            truncates/zero-pads its input to this length — the fixed
+            128-sample alignment of Section 4.4.
+    """
+    if isinstance(wavelet, str):
+        wavelet = WaveletFilter.by_name(wavelet)
+    if align_to is not None and align_to != input_length:
+        raise ConfigurationError("align_to must equal input_length when set")
+    by_mode = {
+        mode: dwt_op_counts(input_length, wavelet.length, mode) for mode in ALUMode
+    }
+    width = min(64, input_length)
+    mode, chosen = choose_alu_mode(by_mode, energy_lib, parallel_width=width)
+    half = input_length // 2
+
+    def compute(inputs: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+        data = np.asarray(inputs[0], dtype=np.float64)
+        if align_to is not None:
+            from repro.core.layout import align_segment
+
+            data = align_segment(data, align_to)
+        approx, detail = dwt_single_level(data, wavelet)
+        return {"approx": approx, "detail": detail}
+
+    return FunctionalCell(
+        name=f"dwt_l{level}",
+        module="dwt",
+        op_counts=chosen,
+        mode=mode,
+        inputs=(input_ref,),
+        outputs=(
+            OutputPort("approx", half, VALUE_BITS),
+            OutputPort("detail", half, VALUE_BITS),
+        ),
+        compute=compute,
+        parallel_width=width,
+    )
+
+
+# -- SVM member cells --------------------------------------------------------------
+
+
+def svm_cell_op_counts(classifier: SVMClassifier) -> Dict[str, int]:
+    """Op counts of one SVM member cell, normalisation affine included."""
+    d = classifier.dimension
+    norm_ops = {"sub": d, "mul": d, "cmp": 2 * d}
+    return _merge_counts(classifier.operation_counts(), norm_ops)
+
+
+def make_svm_cell(
+    member_index: int,
+    classifier: SVMClassifier,
+    feature_refs: Sequence[PortRef],
+    feature_mins: np.ndarray,
+    feature_ranges: np.ndarray,
+    energy_lib: EnergyLibrary,
+    name: Optional[str] = None,
+) -> FunctionalCell:
+    """Build one SVM member cell over its subspace's feature ports.
+
+    Args:
+        member_index: Position of this member in the ensemble.
+        classifier: The trained base SVM (defines op counts and semantics).
+        feature_refs: Producer ports of the subspace features, in the order
+            the classifier was trained on.
+        feature_mins: Per-input normalisation minima (training-set fit).
+        feature_ranges: Per-input normalisation ranges (zeros not allowed).
+        energy_lib: Energy model for mode selection.
+        name: Cell name override (default ``svm_m<member_index>``).
+    """
+    if len(feature_refs) != classifier.dimension:
+        raise ConfigurationError(
+            f"member {member_index} expects {classifier.dimension} features, "
+            f"got {len(feature_refs)} refs"
+        )
+    mins = np.asarray(feature_mins, dtype=np.float64)
+    ranges = np.asarray(feature_ranges, dtype=np.float64)
+    if mins.shape != (classifier.dimension,) or ranges.shape != mins.shape:
+        raise ConfigurationError("normalisation parameter shape mismatch")
+    if np.any(ranges <= 0):
+        raise ConfigurationError("feature ranges must be positive")
+    counts = svm_cell_op_counts(classifier)
+    mode, chosen = choose_alu_mode(
+        _uniform_modes(counts), energy_lib, parallel_width=min(64, classifier.dimension)
+    )
+
+    def compute(inputs: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+        raw = np.array([float(np.atleast_1d(v)[0]) for v in inputs])
+        normalised = np.clip((raw - mins) / ranges, 0.0, 1.0)
+        score = float(np.atleast_1d(classifier.decision_function(normalised))[0])
+        return {"out": np.array([score])}
+
+    return FunctionalCell(
+        name=name or f"svm_m{member_index}",
+        module="svm",
+        op_counts=chosen,
+        mode=mode,
+        inputs=tuple(feature_refs),
+        outputs=(OutputPort("out", 1, FEATURE_BITS),),
+        compute=compute,
+        parallel_width=min(64, classifier.dimension),
+    )
+
+
+# -- score fusion cell ----------------------------------------------------------------
+
+
+def make_fusion_cell(
+    fusion: WeightedVotingFusion,
+    member_refs: Sequence[PortRef],
+    energy_lib: EnergyLibrary,
+) -> FunctionalCell:
+    """Build the final weighted-voting score-fusion cell."""
+    if len(member_refs) != len(fusion.weights):
+        raise ConfigurationError(
+            f"fusion fitted for {len(fusion.weights)} members, "
+            f"got {len(member_refs)} refs"
+        )
+    counts = fusion.operation_counts()
+    mode, chosen = choose_alu_mode(
+        _uniform_modes(counts), energy_lib, parallel_width=min(64, len(member_refs))
+    )
+    weights = fusion.weights
+    intercept = fusion.intercept
+
+    def compute(inputs: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+        scores = np.array([float(np.atleast_1d(v)[0]) for v in inputs])
+        return {"out": np.array([float(scores @ weights + intercept)])}
+
+    return FunctionalCell(
+        name="fusion",
+        module="fusion",
+        op_counts=chosen,
+        mode=mode,
+        inputs=tuple(member_refs),
+        outputs=(OutputPort("out", 1, RESULT_BITS),),
+        compute=compute,
+        parallel_width=min(64, len(member_refs)),
+    )
+
+
+# -- Figure 4 characterisation ----------------------------------------------------------
+
+
+def _representative_svm_counts(n_sv: int = 100, dim: int = 12) -> Dict[str, int]:
+    """Op counts of a representative RBF SVM member (for Fig. 4 only)."""
+    return _merge_counts(
+        {
+            "sub": dim * n_sv + dim,
+            "mul": (dim + 1) * n_sv + n_sv + dim,
+            "add": (dim - 1) * n_sv + n_sv,
+            "super": n_sv,
+            "cmp": 1 + 2 * dim,
+        }
+    )
+
+
+#: Fig. 4 module set: op counts per mode at representative sizes
+#: (128-sample segment, Haar DWT level, 100-SV 12-dim RBF SVM, 10-member
+#: fusion), plus the parallel replication width.
+FIG4_MODULES: Dict[str, Tuple[Dict[ALUMode, Mapping[str, int]], int]] = {
+    **{
+        name: (_uniform_modes(feat.operation_counts(name, 128)), 64)
+        for name in feat.FEATURE_NAMES
+    },
+    "dwt": ({mode: dwt_op_counts(128, 2, mode) for mode in ALUMode}, 64),
+    "svm": (_uniform_modes(_representative_svm_counts()), 12),
+    "fusion": (_uniform_modes({"mul": 10, "add": 10, "cmp": 1}), 10),
+}
+
+
+def characterize_all_modules(energy_lib: EnergyLibrary):
+    """Per-mode energy characterisation of all Fig. 4 modules.
+
+    Returns:
+        List of :class:`~repro.hw.energy.ModeCharacterization`, one per
+        module, in a stable order.
+    """
+    rows = []
+    for module, (by_mode, width) in FIG4_MODULES.items():
+        rows.append(energy_lib.characterize_module(module, by_mode, width))
+    return rows

@@ -1,0 +1,84 @@
+"""Plain-text rendering of cell topologies and partitions.
+
+Produces a readable picture of an XPro instance: cells grouped by dataflow
+level, with module, ALU mode, op totals and (optionally) which end of the
+cut each cell landed on — the terminal counterpart of the paper's Fig. 2
+block diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.cells.cell import SOURCE_CELL
+from repro.cells.topology import CellTopology
+
+
+def _dataflow_levels(topology: CellTopology) -> Dict[str, int]:
+    """Level = 1 + max(level of predecessors); source consumers are level 0."""
+    levels: Dict[str, int] = {}
+    for name in topology.cell_names:
+        preds = topology.predecessors(name)
+        levels[name] = 1 + max((levels[p] for p in preds), default=-1)
+    return levels
+
+
+def render_topology(
+    topology: CellTopology,
+    in_sensor: Optional[FrozenSet[str]] = None,
+    show_ops: bool = True,
+) -> str:
+    """Render a topology (optionally with a partition overlay).
+
+    Args:
+        topology: The cell dataflow graph.
+        in_sensor: If given, each cell is tagged ``[S]`` (sensor) or
+            ``[A]`` (aggregator) according to the partition.
+        show_ops: Whether to append each cell's total op count.
+
+    Returns:
+        A multi-line string, one dataflow level per block.
+    """
+    levels = _dataflow_levels(topology)
+    by_level: Dict[int, List[str]] = {}
+    for name, level in levels.items():
+        by_level.setdefault(level, []).append(name)
+
+    lines: List[str] = [
+        f"topology: {len(topology)} cells over a "
+        f"{topology.segment_length}-sample segment"
+    ]
+    if in_sensor is not None:
+        n_s = len(in_sensor)
+        lines[0] += f"  (cut: {n_s} in-sensor / {len(topology) - n_s} in-aggregator)"
+    lines.append(f"  source: {SOURCE_CELL} ({topology.segment_length} samples)")
+
+    for level in sorted(by_level):
+        lines.append(f"  level {level}:")
+        for name in sorted(by_level[level]):
+            cell = topology.cell(name)
+            tag = ""
+            if in_sensor is not None:
+                tag = "[S] " if name in in_sensor else "[A] "
+            detail = f"{cell.module}/{cell.mode.value}"
+            if show_ops:
+                detail += f", {sum(cell.op_counts.values())} ops"
+            inputs = ", ".join(str(ref) for ref in cell.inputs)
+            marker = " -> RESULT" if topology.result.cell == name else ""
+            lines.append(f"    {tag}{name}  ({detail})  <- {inputs}{marker}")
+    return "\n".join(lines)
+
+
+def render_cut_summary(
+    topology: CellTopology, in_sensor: FrozenSet[str]
+) -> str:
+    """One-line-per-module summary of a partition."""
+    by_module: Dict[str, List[int]] = {}
+    for name, cell in topology.cells.items():
+        counts = by_module.setdefault(cell.module, [0, 0])
+        counts[0 if name in in_sensor else 1] += 1
+    lines = ["module     sensor  aggregator"]
+    for module in sorted(by_module):
+        s, a = by_module[module]
+        lines.append(f"{module:10s} {s:6d}  {a:10d}")
+    return "\n".join(lines)

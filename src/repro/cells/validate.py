@@ -1,0 +1,131 @@
+"""Topology linter: structural diagnostics beyond hard validation.
+
+:class:`~repro.cells.topology.CellTopology` rejects malformed graphs
+(cycles, dangling references) outright.  This linter reports the *legal
+but suspicious* patterns a hand-built pipeline can exhibit — useful when
+users construct custom topologies (see ``examples/custom_pipeline.py``):
+
+- **dead cells**: produce ports nobody consumes and are not the result
+  (silicon and energy spent on unread values);
+- **unreachable cells**: not reachable from the source — they can never
+  fire in a data-driven execution;
+- **redundant modules**: two cells of the same module reading exactly the
+  same inputs (duplicate computation the Var->Std reuse rule exists to
+  avoid);
+- **wide ports**: ports whose payload exceeds the raw segment itself —
+  any cut through them is dominated by simply shipping the raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.cells.cell import SOURCE_CELL, PortRef
+from repro.cells.topology import CellTopology
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic.
+
+    Attributes:
+        kind: ``"dead_cell" | "unreachable_cell" | "redundant_pair" |
+            "wide_port"``.
+        subject: The cell (or ``cell.port``) the finding is about.
+        detail: Human-readable explanation.
+    """
+
+    kind: str
+    subject: str
+    detail: str
+
+
+def lint_topology(topology: CellTopology) -> List[LintFinding]:
+    """Run all structural checks; returns an empty list for a clean graph."""
+    findings: List[LintFinding] = []
+    findings.extend(_dead_cells(topology))
+    findings.extend(_unreachable_cells(topology))
+    findings.extend(_redundant_pairs(topology))
+    findings.extend(_wide_ports(topology))
+    return findings
+
+
+def _dead_cells(topology: CellTopology) -> List[LintFinding]:
+    consumed: Set[str] = set()
+    for cell in topology.cells.values():
+        consumed.update(ref.cell for ref in cell.inputs)
+    out: List[LintFinding] = []
+    for name in topology.cells:
+        if name == topology.result.cell:
+            continue
+        if name not in consumed:
+            out.append(
+                LintFinding(
+                    kind="dead_cell",
+                    subject=name,
+                    detail="no consumer reads any of this cell's outputs",
+                )
+            )
+    return out
+
+
+def _unreachable_cells(topology: CellTopology) -> List[LintFinding]:
+    reachable: Set[str] = set()
+    frontier = [SOURCE_CELL]
+    consumers = topology.consumers_by_port()
+    while frontier:
+        producer = frontier.pop()
+        for ref, users in consumers.items():
+            if ref.cell == producer:
+                for user in users:
+                    if user not in reachable:
+                        reachable.add(user)
+                        frontier.append(user)
+    return [
+        LintFinding(
+            kind="unreachable_cell",
+            subject=name,
+            detail="no dataflow path from the source reaches this cell",
+        )
+        for name in topology.cells
+        if name not in reachable
+    ]
+
+
+def _redundant_pairs(topology: CellTopology) -> List[LintFinding]:
+    seen: Dict[Tuple[str, Tuple[PortRef, ...]], str] = {}
+    out: List[LintFinding] = []
+    for name in topology.cell_names:
+        cell = topology.cell(name)
+        key = (cell.module, cell.inputs)
+        if key in seen:
+            out.append(
+                LintFinding(
+                    kind="redundant_pair",
+                    subject=name,
+                    detail=f"duplicates {seen[key]!r}: same module "
+                    f"({cell.module}) over identical inputs",
+                )
+            )
+        else:
+            seen[key] = name
+    return out
+
+
+def _wide_ports(topology: CellTopology) -> List[LintFinding]:
+    raw_bits = topology.source_port.bits
+    out: List[LintFinding] = []
+    for ref, port in topology.producer_ports():
+        if ref.cell == SOURCE_CELL:
+            continue
+        if port.bits > raw_bits:
+            out.append(
+                LintFinding(
+                    kind="wide_port",
+                    subject=f"{ref.cell}.{ref.port}",
+                    detail=f"payload {port.bits} bits exceeds the raw segment "
+                    f"({raw_bits} bits); cuts through it are never optimal",
+                )
+            )
+    return out

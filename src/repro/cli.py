@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate paper artefacts from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1
+    python -m repro figure 8 --segments 240 --draws 40
+    python -m repro partition --case E1 --node 90nm --wireless model2
+    python -m repro headline --segments 240 --draws 40
+
+The figure/headline commands accept ``--segments`` / ``--draws`` to trade
+harness scale for runtime (the full-scale defaults match the benchmark
+suite and train for a couple of minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import TrainingConfig
+from repro.errors import XProError
+from repro.eval.context import DEFAULT_EVAL_SEGMENTS, ExperimentContext
+from repro.eval import experiments
+from repro.eval.tables import format_table
+
+#: figure number -> (harness function, title)
+_FIGURES = {
+    4: (experiments.fig4_rows, "Figure 4: ALU-mode energy per event (pJ)"),
+    8: (experiments.fig8_rows, "Figure 8: battery life vs process node"),
+    9: (experiments.fig9_rows, "Figure 9: battery life vs wireless model"),
+    10: (experiments.fig10_rows, "Figure 10: delay breakdown (ms)"),
+    11: (experiments.fig11_rows, "Figure 11: sensor energy breakdown (uJ)"),
+    12: (experiments.fig12_rows, "Figure 12: lifetime of four cuts (hours)"),
+    13: (experiments.fig13_rows, "Figure 13: aggregator overhead (uJ)"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XPro (ISCA'17) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (dataset attributes)")
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("number", type=int, choices=sorted(_FIGURES))
+    _add_scale_args(fig)
+
+    head = sub.add_parser("headline", help="print the Section 5 headline numbers")
+    _add_scale_args(head)
+
+    part = sub.add_parser("partition", help="generate one XPro partition")
+    part.add_argument("--case", default="C1", help="Table 1 case symbol")
+    part.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    part.add_argument(
+        "--wireless", default="model2", choices=["model1", "model2", "model3"]
+    )
+    part.add_argument(
+        "--render", action="store_true", help="render the cell topology with the cut"
+    )
+    part.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="write the partition (+ metrics) to a JSON file",
+    )
+    _add_scale_args(part)
+
+    rep = sub.add_parser(
+        "report", help="write the full evaluation report (markdown)"
+    )
+    rep.add_argument(
+        "--output", metavar="FILE", default="xpro_report.md",
+        help="target markdown file (default: %(default)s)",
+    )
+    _add_scale_args(rep)
+
+    val = sub.add_parser(
+        "validate",
+        help="check the paper's qualitative claims hold at this configuration",
+    )
+    _add_scale_args(val)
+
+    insp = sub.add_parser(
+        "inspect",
+        help="synthesis-style inspection of one case: lint, area, SRAM, gating",
+    )
+    insp.add_argument("--case", default="C1", help="Table 1 case symbol")
+    insp.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    _add_scale_args(insp)
+
+    return parser
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=DEFAULT_EVAL_SEGMENTS,
+        help="per-case dataset subsample (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--draws",
+        type=int,
+        default=100,
+        help="random-subspace draws (default: %(default)s, the paper protocol)",
+    )
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        n_segments=args.segments,
+        training=TrainingConfig(n_draws=args.draws),
+    )
+
+
+def _cmd_table1(_args: argparse.Namespace) -> str:
+    return format_table(experiments.table1_rows(), title="Table 1: dataset attributes")
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    func, title = _FIGURES[args.number]
+    rows = func(_context(args))
+    return format_table(rows, title=title, float_format="{:.4g}")
+
+
+def _cmd_headline(args: argparse.Namespace) -> str:
+    summary = experiments.headline_summary(_context(args))
+    rows = [{"metric": key, "value": value} for key, value in summary.items()]
+    return format_table(rows, title="Section 5 headline numbers")
+
+
+def _cmd_partition(args: argparse.Namespace) -> str:
+    ctx = _context(args)
+    symbol = args.case.upper()
+    generator = ctx.generator(symbol, args.node, args.wireless)
+    result = generator.generate()
+    topology = ctx.topology(symbol, args.node)
+    lines = [
+        f"XPro partition for {symbol} at {args.node} / {args.wireless}",
+        f"  cells total      : {len(topology)}",
+        f"  in-sensor        : {len(result.partition.in_sensor)}",
+        f"  sensor energy    : {result.metrics.sensor_total_j * 1e6:.3f} uJ/event",
+        f"  end-to-end delay : {result.metrics.delay_total_s * 1e3:.3f} ms",
+        f"  delay limit (Eq.4): {result.delay_limit_s * 1e3:.3f} ms",
+        "  in-sensor cells  :",
+    ]
+    lines.extend(f"    {name}" for name in sorted(result.partition.in_sensor))
+    if args.render:
+        from repro.cells.render import render_topology
+
+        lines.append("")
+        lines.append(render_topology(topology, in_sensor=result.partition.in_sensor))
+    if args.save:
+        from repro.core.serialize import save_partition
+
+        save_partition(args.save, result.partition, result.metrics)
+        lines.append(f"\npartition written to {args.save}")
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.eval.report import write_report
+
+    target = write_report(_context(args), args.output)
+    return f"evaluation report written to {target}"
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    from repro.eval.validation_suite import summarize, validate_reproduction
+
+    results = validate_reproduction(_context(args))
+    return summarize(results)
+
+
+def _cmd_inspect(args: argparse.Namespace) -> str:
+    from repro.cells.validate import lint_topology
+    from repro.hw.area import area_report
+    from repro.hw.memory import memory_report
+    from repro.hw.power_gating import gating_overhead_report
+
+    ctx = _context(args)
+    symbol = args.case.upper()
+    topology = ctx.topology(symbol, args.node)
+    lib = ctx.energy_library(args.node)
+    area = area_report(topology, args.node)
+    sram = memory_report(topology)
+    gating = gating_overhead_report(topology, lib)
+    findings = lint_topology(topology)
+    lines = [
+        f"Synthesis-style inspection: case {symbol} at {args.node}",
+        f"  functional cells : {len(topology)}",
+        f"  silicon area     : {area.area_mm2:.3f} mm^2 "
+        f"({area.gate_equivalents} gate equivalents)",
+        f"  sensor SRAM      : {sram.total_kib:.1f} KiB "
+        f"(acquisition {sram.acquisition_bytes} B + "
+        f"buffers {sram.cell_buffer_bytes} B)",
+        f"  gating overhead  : {gating['energy_overhead_pct']:.2f}% of "
+        "computation energy",
+        f"  lint findings    : {len(findings)}",
+    ]
+    lines.extend(f"    {f.kind}: {f.subject} — {f.detail}" for f in findings)
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure": _cmd_figure,
+    "headline": _cmd_headline,
+    "partition": _cmd_partition,
+    "report": _cmd_report,
+    "inspect": _cmd_inspect,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (0 ok, 2 on library errors)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except XProError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

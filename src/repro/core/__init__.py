@@ -1,0 +1,57 @@
+"""XPro core: the cross-end analytic engine and its automatic generator.
+
+- :mod:`repro.core.layout` -- the feature layout of the generic
+  classification (time domain + DWT sub-bands x 8 statistical features).
+- :mod:`repro.core.pipeline` -- training the generic classifier per the
+  paper's protocol and packaging it as a :class:`TrainedAnalyticEngine`.
+- :mod:`repro.core.builder` -- turning a trained engine into a functional-
+  cell topology (DWT chain, feature cells with Var->Std reuse, SVM member
+  cells, score fusion).
+- :mod:`repro.core.generator` -- the Automatic XPro Generator: min-cut
+  partitioning with the delay-constrained extension (Section 3.2).
+- :mod:`repro.core.engine` -- the executable cross-end engine, verified
+  bit-for-bit against the monolithic pipeline.
+"""
+
+from repro.core.adaptive import AdaptivePartitionController, LossRateEstimator
+from repro.core.builder import build_topology
+from repro.core.heuristics import greedy_descent, simulated_annealing
+from repro.core.multiclass import build_multiclass_topology, classify_multiclass
+from repro.core.quantized import classify_quantized, execute_quantized, quantization_agreement
+from repro.core.serialize import load_partition, save_partition
+from repro.core.engine import CrossEndEngine, CrossEndResult, argmax_decode, sign_decode
+from repro.core.generator import AutomaticXProGenerator, GeneratorResult
+from repro.core.layout import FeatureLayout, align_segment
+from repro.core.partition import Partition
+from repro.core.pipeline import (
+    TrainedAnalyticEngine,
+    TrainingConfig,
+    train_analytic_engine,
+)
+
+__all__ = [
+    "AdaptivePartitionController",
+    "AutomaticXProGenerator",
+    "LossRateEstimator",
+    "argmax_decode",
+    "build_multiclass_topology",
+    "classify_multiclass",
+    "classify_quantized",
+    "execute_quantized",
+    "greedy_descent",
+    "load_partition",
+    "quantization_agreement",
+    "save_partition",
+    "sign_decode",
+    "simulated_annealing",
+    "CrossEndEngine",
+    "CrossEndResult",
+    "FeatureLayout",
+    "GeneratorResult",
+    "Partition",
+    "TrainedAnalyticEngine",
+    "TrainingConfig",
+    "align_segment",
+    "build_topology",
+    "train_analytic_engine",
+]

@@ -1,0 +1,172 @@
+"""Runtime-adaptive partitioning: re-cut when the channel changes.
+
+The Automatic XPro Generator produces a static partition for a static
+channel model — but a body-area link is anything but static (posture,
+distance, interference).  The loss-sensitivity study
+(``benchmarks/test_bench_heuristics.py``) shows the *optimal* cut migrates
+into the sensor as losses grow; this controller closes the loop at
+runtime:
+
+1. an EWMA estimator tracks the observed payload-loss rate;
+2. when the estimate leaves the band the current partition was generated
+   for, the generator is re-run against the new channel model;
+3. hysteresis (a minimum improvement threshold) prevents flapping between
+   adjacent cuts on noisy estimates.
+
+Switching partitions on a deployed system is not free — both ends must
+swap cell assignments — so the controller also charges a configurable
+switch-energy penalty and refuses switches that would not amortise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.core.partition import Partition
+from repro.errors import ConfigurationError
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+
+
+@dataclass
+class LossRateEstimator:
+    """Exponentially weighted moving average of payload loss.
+
+    Attributes:
+        alpha: EWMA weight of each new observation.
+        estimate: Current loss-rate estimate in [0, 1).
+    """
+
+    alpha: float = 0.05
+    estimate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if not 0.0 <= self.estimate < 1.0:
+            raise ConfigurationError("estimate must be in [0, 1)")
+
+    def observe(self, lost: bool) -> float:
+        """Fold one payload outcome into the estimate; returns it."""
+        self.estimate += self.alpha * (float(lost) - self.estimate)
+        # Clamp strictly below 1 so the retransmission model stays finite.
+        self.estimate = min(self.estimate, 0.99)
+        return self.estimate
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """Record of one controller decision.
+
+    Attributes:
+        event_index: When (in processed events) the decision happened.
+        loss_estimate: Channel estimate at decision time.
+        switched: Whether a new partition was adopted.
+        energy_before_j: Per-event energy of the old partition at the new
+            loss rate.
+        energy_after_j: Per-event energy of the adopted (or kept) partition.
+    """
+
+    event_index: int
+    loss_estimate: float
+    switched: bool
+    energy_before_j: float
+    energy_after_j: float
+
+
+class AdaptivePartitionController:
+    """Re-partitions an XPro instance as the channel quality drifts.
+
+    Args:
+        generator: A generator configured with the *nominal* link; the
+            controller rebuilds links with the live loss estimate.
+        recheck_interval: Events between controller evaluations.
+        min_improvement: Fractional per-event energy improvement required
+            to switch (hysteresis).
+        switch_cost_j: One-off energy cost of redeploying a partition;
+            a switch must amortise within ``recheck_interval`` events.
+    """
+
+    def __init__(
+        self,
+        generator: AutomaticXProGenerator,
+        recheck_interval: int = 200,
+        min_improvement: float = 0.05,
+        switch_cost_j: float = 50e-6,
+    ) -> None:
+        if recheck_interval < 1:
+            raise ConfigurationError("recheck_interval must be >= 1")
+        if min_improvement < 0:
+            raise ConfigurationError("min_improvement must be >= 0")
+        if switch_cost_j < 0:
+            raise ConfigurationError("switch_cost_j must be >= 0")
+        self.generator = generator
+        self.recheck_interval = int(recheck_interval)
+        self.min_improvement = float(min_improvement)
+        self.switch_cost_j = float(switch_cost_j)
+        self.estimator = LossRateEstimator()
+        self.current: Partition = generator.generate().partition
+        self.history: List[AdaptationEvent] = []
+        self._events_seen = 0
+
+    def _link_at(self, loss: float) -> WirelessLink:
+        return WirelessLink(self.generator.link.model, loss_rate=loss)
+
+    def _metrics_at(self, partition: Partition, loss: float) -> PartitionMetrics:
+        return evaluate_partition(
+            self.generator.topology,
+            partition.in_sensor,
+            self.generator.energy_lib,
+            self._link_at(loss),
+            self.generator.cpu,
+        )
+
+    def observe_event(self, payload_lost: bool) -> Optional[AdaptationEvent]:
+        """Feed one event's channel outcome; maybe re-partition.
+
+        Returns the :class:`AdaptationEvent` when a controller evaluation
+        ran (every ``recheck_interval`` events), else None.
+        """
+        self.estimator.observe(payload_lost)
+        self._events_seen += 1
+        if self._events_seen % self.recheck_interval:
+            return None
+
+        loss = self.estimator.estimate
+        before = self._metrics_at(self.current, loss)
+        candidate_gen = AutomaticXProGenerator(
+            self.generator.topology,
+            self.generator.energy_lib,
+            self._link_at(loss),
+            self.generator.cpu,
+        )
+        candidate = candidate_gen.generate().partition
+        after = self._metrics_at(candidate, loss)
+
+        saving_per_event = before.sensor_total_j - after.sensor_total_j
+        relative = (
+            saving_per_event / before.sensor_total_j
+            if before.sensor_total_j > 0
+            else 0.0
+        )
+        amortises = (
+            saving_per_event * self.recheck_interval > self.switch_cost_j
+        )
+        switched = (
+            candidate.in_sensor != self.current.in_sensor
+            and relative >= self.min_improvement
+            and amortises
+        )
+        if switched:
+            self.current = candidate
+        event = AdaptationEvent(
+            event_index=self._events_seen,
+            loss_estimate=loss,
+            switched=switched,
+            energy_before_j=before.sensor_total_j,
+            energy_after_j=(after if switched else before).sensor_total_j,
+        )
+        self.history.append(event)
+        return event

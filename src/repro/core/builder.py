@@ -1,0 +1,174 @@
+"""Build a functional-cell topology from a trained generic classifier.
+
+This is the front half of the Automatic XPro Generator: it turns the trained
+random-subspace ensemble into the dataflow graph of functional cells the
+partitioner operates on.  Key rules (Section 2.2/3.1):
+
+- only features actually consumed by a surviving ensemble member become
+  cells ("the number of functional cells is decided by the feature set and
+  random subspace training");
+- the DWT chain is instantiated only as deep as the deepest used sub-band,
+  and level 1 performs the 128-sample alignment;
+- the Std cell reuses the Var cell (design rule 3, Fig. 5) — a Var cell is
+  inserted automatically when Std is used, and shared if Var is also used
+  directly;
+- min-max normalisation is folded into the SVM member cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cells.cell import SOURCE_CELL, FunctionalCell, PortRef
+from repro.cells.library import (
+    make_dwt_cell,
+    make_feature_cell,
+    make_fusion_cell,
+    make_svm_cell,
+)
+from repro.cells.topology import CellTopology
+from repro.core.layout import FeatureLayout
+from repro.dsp.normalize import MinMaxNormalizer
+from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyLibrary
+from repro.ml.subspace import RandomSubspaceClassifier
+
+
+def build_topology(
+    layout: FeatureLayout,
+    ensemble: RandomSubspaceClassifier,
+    normalizer: MinMaxNormalizer,
+    energy_lib: EnergyLibrary,
+) -> CellTopology:
+    """Construct the cell topology realising a trained generic classifier.
+
+    Args:
+        layout: Feature layout (must match what the ensemble was trained on).
+        ensemble: Trained random-subspace classifier.
+        normalizer: Min-max normalizer fitted on the training features.
+        energy_lib: Energy model used for per-module ALU-mode selection.
+
+    Returns:
+        A validated :class:`~repro.cells.topology.CellTopology` whose
+        monolithic execution reproduces ``ensemble.predict`` exactly.
+    """
+    if not ensemble.is_fitted:
+        raise ConfigurationError("ensemble must be fitted before building cells")
+    if not normalizer.is_fitted:
+        raise ConfigurationError("normalizer must be fitted before building cells")
+    if ensemble.n_features != layout.n_features:
+        raise ConfigurationError(
+            f"ensemble dimension {ensemble.n_features} != layout {layout.n_features}"
+        )
+
+    used = ensemble.used_feature_indices()
+    used_by_domain: Dict[int, List[str]] = {}
+    for index in used:
+        domain, fname = layout.feature_of(index)
+        used_by_domain.setdefault(domain, []).append(fname)
+
+    cells: List[FunctionalCell] = []
+
+    # -- DWT chain (only as deep as needed) -----------------------------------
+    deepest = max(
+        (layout.dwt_level_of_domain(d) for d in used_by_domain), default=0
+    )
+    dwt_ports: Dict[int, PortRef] = {}  # domain -> producing port
+    prev_ref = PortRef(SOURCE_CELL, "out")
+    length = layout.dwt_aligned_length
+    for level in range(1, deepest + 1):
+        cell = make_dwt_cell(
+            level,
+            prev_ref,
+            length,
+            energy_lib,
+            wavelet=layout.wavelet,
+            align_to=layout.dwt_aligned_length if level == 1 else None,
+        )
+        cells.append(cell)
+        if level < layout.dwt_levels:
+            dwt_ports[level] = PortRef(cell.name, "detail")
+        else:
+            dwt_ports[layout.dwt_levels] = PortRef(cell.name, "approx")
+            dwt_ports[layout.dwt_levels + 1] = PortRef(cell.name, "detail")
+        prev_ref = PortRef(cell.name, "approx")
+        length //= 2
+
+    def segment_port(domain: int) -> PortRef:
+        if domain == 0:
+            return PortRef(SOURCE_CELL, "out")
+        if domain < layout.dwt_levels:
+            return dwt_ports[domain]
+        # A_L is stored under key dwt_levels, D_L under dwt_levels + 1.
+        key = layout.dwt_levels if domain == layout.dwt_levels else layout.dwt_levels + 1
+        return dwt_ports[key]
+
+    # -- feature cells (with Var->Std reuse) -----------------------------------
+    domain_lengths = layout.domain_lengths()
+    feature_ports: Dict[int, PortRef] = {}
+    per_domain = len(layout.feature_names)
+
+    def flat_index(domain: int, fname: str) -> int:
+        return domain * per_domain + layout.feature_names.index(fname)
+
+    for domain in sorted(used_by_domain):
+        names = set(used_by_domain[domain])
+        seg_ref = segment_port(domain)
+        seg_len = domain_lengths[domain]
+        domain_cells: Dict[str, FunctionalCell] = {}
+        needs_var = "var" in names or "std" in names
+        if needs_var:
+            var_cell = make_feature_cell(
+                "var", seg_ref, seg_len, energy_lib, name=f"var@seg{domain}"
+            )
+            cells.append(var_cell)
+            domain_cells["var"] = var_cell
+        for fname in sorted(names):
+            if fname == "var":
+                continue  # already built (possibly for std's sake)
+            if fname == "std":
+                cell = make_feature_cell(
+                    "std",
+                    PortRef(domain_cells["var"].name, "out"),
+                    seg_len,
+                    energy_lib,
+                    name=f"std@seg{domain}",
+                )
+            else:
+                cell = make_feature_cell(
+                    fname, seg_ref, seg_len, energy_lib, name=f"{fname}@seg{domain}"
+                )
+            cells.append(cell)
+            domain_cells[fname] = cell
+        for fname, cell in domain_cells.items():
+            idx = flat_index(domain, fname)
+            if idx in used:
+                feature_ports[idx] = PortRef(cell.name, "out")
+
+    # -- SVM member cells --------------------------------------------------------
+    mins = normalizer.mins
+    ranges = normalizer.ranges
+    member_refs: List[PortRef] = []
+    for i, member in enumerate(ensemble.members):
+        refs = [feature_ports[idx] for idx in member.feature_indices]
+        sub = list(member.feature_indices)
+        cell = make_svm_cell(
+            i,
+            member.classifier,
+            refs,
+            mins[sub],
+            ranges[sub],
+            energy_lib,
+        )
+        cells.append(cell)
+        member_refs.append(PortRef(cell.name, "out"))
+
+    # -- fusion --------------------------------------------------------------------
+    fusion_cell = make_fusion_cell(ensemble.fusion, member_refs, energy_lib)
+    cells.append(fusion_cell)
+
+    return CellTopology(
+        segment_length=layout.segment_length,
+        cells=cells,
+        result=PortRef(fusion_cell.name, "out"),
+    )

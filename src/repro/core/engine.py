@@ -1,0 +1,150 @@
+"""The executable cross-end engine.
+
+A :class:`CrossEndEngine` runs a partitioned analytic pipeline the way the
+deployed system would: in-sensor cells execute on (a software model of) the
+sensor, every port value crossing the cut is marshalled over the link, and
+in-aggregator cells execute on the aggregator.  Functionally the partition
+must be invisible — the engine's predictions are verified against the
+monolithic :meth:`~repro.cells.topology.CellTopology.classify` in the test
+suite — while the traffic accounting reports exactly what crossed the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.cells.cell import SOURCE_CELL, PortRef
+from repro.cells.topology import CellTopology
+from repro.core.partition import Partition
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CrossEndResult:
+    """Outcome of classifying one segment across the two ends.
+
+    Attributes:
+        prediction: Binary class decision.
+        score: The fused classifier score behind the decision.
+        uplink_ports: Port refs transmitted sensor -> aggregator.
+        downlink_ports: (port, consumer) pairs received by in-sensor cells.
+        uplink_values: Total scalar values sent up.
+        downlink_values: Total scalar values sent down.
+    """
+
+    prediction: int
+    score: float
+    uplink_ports: Tuple[PortRef, ...]
+    downlink_ports: Tuple[Tuple[PortRef, str], ...]
+    uplink_values: int
+    downlink_values: int
+
+
+def sign_decode(score: float) -> int:
+    """Default result decoding: binary decision from a signed score."""
+    return int(score > 0)
+
+
+def argmax_decode(score: float) -> int:
+    """Result decoding for multi-class topologies whose result cell emits
+    the winning class index directly (see :mod:`repro.core.multiclass`)."""
+    return int(round(score))
+
+
+class CrossEndEngine:
+    """Executes a topology under a given partition.
+
+    Args:
+        topology: The functional-cell dataflow graph.
+        partition: Cell-to-end assignment (validated on construction).
+        decode: Maps the result port's scalar to the class decision;
+            defaults to :func:`sign_decode` (binary), use
+            :func:`argmax_decode` for multi-class topologies.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        partition: Partition,
+        decode: Callable[[float], int] = sign_decode,
+    ) -> None:
+        self.topology = topology
+        self.partition = partition.validate(topology)
+        self.decode = decode
+
+    def classify(self, segment: np.ndarray) -> CrossEndResult:
+        """Classify one raw segment through the partitioned pipeline."""
+        arr = np.asarray(segment, dtype=np.float64)
+        if arr.ndim != 1 or len(arr) != self.topology.segment_length:
+            raise ConfigurationError(
+                f"segment must be 1-D of length {self.topology.segment_length}"
+            )
+        in_sensor = self.partition.in_sensor
+        # Per-end value stores; the source segment exists only on the sensor.
+        sensor_values: Dict[PortRef, np.ndarray] = {PortRef(SOURCE_CELL, "out"): arr}
+        aggregator_values: Dict[PortRef, np.ndarray] = {}
+        uplinked: List[PortRef] = []
+        downlinked: List[Tuple[PortRef, str]] = []
+
+        def fetch(ref: PortRef, consumer: str, consumer_in_sensor: bool) -> np.ndarray:
+            """Resolve an input value at the consumer's end, marshalling if needed.
+
+            Uplink transfers happen once per port (the "grouped" rule: one
+            broadcast serves every back-end consumer), while downlink
+            receives are paid per in-sensor consumer — mirroring the Tx/Rx
+            edge construction of the s-t graph, so the engine's traffic
+            accounting matches the evaluator exactly.
+            """
+            producer_in_sensor = ref.cell == SOURCE_CELL or ref.cell in in_sensor
+            if consumer_in_sensor:
+                if producer_in_sensor:
+                    return sensor_values[ref]
+                downlinked.append((ref, consumer))
+                value = aggregator_values[ref]
+                sensor_values[ref] = value
+                return value
+            if producer_in_sensor and ref not in aggregator_values:
+                aggregator_values[ref] = sensor_values[ref]
+                uplinked.append(ref)
+            return aggregator_values[ref]
+
+        for name in self.topology.cell_names:  # topological order
+            cell = self.topology.cell(name)
+            here = name in in_sensor
+            inputs = [fetch(ref, name, here) for ref in cell.inputs]
+            outputs = cell.execute(inputs)
+            store = sensor_values if here else aggregator_values
+            for port_name, value in outputs.items():
+                store[PortRef(name, port_name)] = value
+
+        # The classification result must reach the aggregator.
+        result_ref = self.topology.result
+        if result_ref not in aggregator_values:
+            aggregator_values[result_ref] = sensor_values[result_ref]
+            uplinked.append(result_ref)
+
+        score = float(np.atleast_1d(aggregator_values[result_ref])[0])
+        up_values = sum(
+            self.topology.port_of(ref).n_values for ref in uplinked
+        )
+        down_values = sum(
+            self.topology.port_of(ref).n_values for ref, _ in downlinked
+        )
+        return CrossEndResult(
+            prediction=self.decode(score),
+            score=score,
+            uplink_ports=tuple(uplinked),
+            downlink_ports=tuple(downlinked),
+            uplink_values=up_values,
+            downlink_values=down_values,
+        )
+
+    def classify_batch(self, segments: np.ndarray) -> np.ndarray:
+        """Predictions for a (n_segments, segment_length) batch."""
+        mat = np.asarray(segments, dtype=np.float64)
+        if mat.ndim != 2:
+            raise ConfigurationError("segments must be a 2-D batch")
+        return np.asarray([self.classify(row).prediction for row in mat])

@@ -1,0 +1,127 @@
+"""Heuristic partitioners — the strawmen the Automatic Generator replaces.
+
+Section 5.5: *"Such cuts are difficult to search through conventional
+heuristic algorithms, but can be obtained in the proposed generator that
+cleverly formulates the search into a graph theory problem."*  To make
+that comparison measurable, this module implements the conventional
+alternatives:
+
+- :func:`greedy_descent` — local search: start from a seed partition and
+  keep applying the single cell move that most reduces sensor energy;
+- :func:`simulated_annealing` — the classic metaheuristic over the same
+  move set.
+
+Both are *exact-evaluation* heuristics (each candidate is scored by the
+true evaluator), so any quality gap against the min-cut is due purely to
+the search, not the model — see ``benchmarks/test_bench_heuristics.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, FrozenSet, Optional
+
+import numpy as np
+
+from repro.cells.topology import CellTopology
+from repro.errors import ConfigurationError
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import evaluate_partition
+
+Objective = Callable[[FrozenSet[str]], float]
+
+
+def _sensor_energy_objective(
+    topology: CellTopology,
+    lib: EnergyLibrary,
+    link: WirelessLink,
+    cpu: AggregatorCPU,
+) -> Objective:
+    def objective(in_sensor: FrozenSet[str]) -> float:
+        return evaluate_partition(topology, in_sensor, lib, link, cpu).sensor_total_j
+
+    return objective
+
+
+def greedy_descent(
+    topology: CellTopology,
+    lib: EnergyLibrary,
+    link: WirelessLink,
+    cpu: AggregatorCPU,
+    seed_partition: Optional[FrozenSet[str]] = None,
+    max_rounds: int = 200,
+) -> FrozenSet[str]:
+    """Steepest-descent local search over single-cell moves.
+
+    Args:
+        topology: The cell dataflow graph.
+        lib, link, cpu: Hardware models for the objective.
+        seed_partition: Starting point; defaults to the all-in-sensor
+            engine (a deployed system migrating cells off the node).
+        max_rounds: Safety cap on improvement rounds.
+
+    Returns:
+        A locally optimal in-sensor set: no single cell move improves it.
+    """
+    objective = _sensor_energy_objective(topology, lib, link, cpu)
+    current = (
+        frozenset(topology.cells) if seed_partition is None else frozenset(seed_partition)
+    )
+    current_cost = objective(current)
+    names = sorted(topology.cells)
+    for _ in range(max_rounds):
+        best_move: Optional[FrozenSet[str]] = None
+        best_cost = current_cost
+        for name in names:
+            candidate = (
+                current - {name} if name in current else current | {name}
+            )
+            cost = objective(candidate)
+            if cost < best_cost - 1e-18:
+                best_cost = cost
+                best_move = candidate
+        if best_move is None:
+            break
+        current, current_cost = best_move, best_cost
+    return current
+
+
+def simulated_annealing(
+    topology: CellTopology,
+    lib: EnergyLibrary,
+    link: WirelessLink,
+    cpu: AggregatorCPU,
+    n_steps: int = 2000,
+    initial_temperature: float = 1.0,
+    seed: int = 0,
+) -> FrozenSet[str]:
+    """Simulated annealing over single-cell flips.
+
+    Temperature is expressed relative to the all-in-sensor energy so the
+    schedule is topology-scale-free; it decays geometrically to ~1e-3 of
+    the initial value over ``n_steps``.
+    """
+    if n_steps < 1:
+        raise ConfigurationError("n_steps must be >= 1")
+    objective = _sensor_energy_objective(topology, lib, link, cpu)
+    names = sorted(topology.cells)
+    rng = np.random.default_rng(seed)
+    current = frozenset(topology.cells)
+    current_cost = objective(current)
+    scale = current_cost if current_cost > 0 else 1.0
+    best, best_cost = current, current_cost
+    decay = (1e-3) ** (1.0 / n_steps)
+    temperature = initial_temperature
+    for _ in range(n_steps):
+        name = names[int(rng.integers(len(names)))]
+        candidate = current - {name} if name in current else current | {name}
+        cost = objective(candidate)
+        delta = (cost - current_cost) / scale
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            current, current_cost = candidate, cost
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        temperature *= decay
+    return best

@@ -1,0 +1,48 @@
+"""Partition value type: which cells live on the sensor node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.cells.topology import CellTopology
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of functional cells to the sensor node.
+
+    Attributes:
+        in_sensor: Names of cells placed on the front-end sensor; every
+            other cell runs in the aggregator.
+        label: Human-readable origin of the partition (``"cross"``,
+            ``"sensor"``, ``"aggregator"``, ``"trivial"``...).
+    """
+
+    in_sensor: FrozenSet[str]
+    label: str = "cross"
+
+    @classmethod
+    def of(cls, cells: Iterable[str], label: str = "cross") -> "Partition":
+        """Build a partition from any iterable of cell names."""
+        return cls(in_sensor=frozenset(cells), label=label)
+
+    def validate(self, topology: CellTopology) -> "Partition":
+        """Check every named cell exists in the topology; return self."""
+        unknown = self.in_sensor - set(topology.cells)
+        if unknown:
+            raise ConfigurationError(
+                f"partition names unknown cells: {sorted(unknown)}"
+            )
+        return self
+
+    def in_aggregator(self, topology: CellTopology) -> FrozenSet[str]:
+        """The complementary in-aggregator cell set."""
+        return frozenset(set(topology.cells) - self.in_sensor)
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self.in_sensor
+
+    def __len__(self) -> int:
+        return len(self.in_sensor)

@@ -1,0 +1,193 @@
+"""Training the generic classifier and packaging the analytic engine.
+
+Implements the protocol of Section 4.4: extract the full statistical
+feature set (time + DWT domains), normalise to [0, 1] on the training
+split, train the random-subspace SVM ensemble (12-feature draws, keep the
+top 10%, least-squares weighted voting), optionally repeating the random
+75/25 split and keeping the most accurate classifier.
+
+The result, a :class:`TrainedAnalyticEngine`, bundles everything needed
+downstream: the layout, the fitted normaliser and ensemble, accuracy
+figures, and :meth:`~TrainedAnalyticEngine.build_topology` to produce the
+functional-cell graph for a given hardware energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cells.topology import CellTopology
+from repro.core.builder import build_topology
+from repro.core.layout import FeatureLayout
+from repro.dsp.normalize import MinMaxNormalizer
+from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyLibrary
+from repro.ml.kernels import LinearKernel, RBFKernel
+from repro.ml.metrics import accuracy
+from repro.ml.subspace import RandomSubspaceClassifier
+from repro.ml.validation import stratified_train_test_split
+from repro.signals.datasets import BiosignalDataset
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the paper's training protocol.
+
+    Defaults follow Section 4.4, with ``n_draws`` and ``split_repeats``
+    scaled down from (100, 50) to keep a full six-case evaluation tractable
+    in pure Python; both are honest knobs — raise them to run the exact
+    paper protocol.
+
+    Attributes:
+        subspace_dim: Features per random draw (paper: 12).
+        n_draws: Random subspace draws per split (paper: 100).
+        keep_fraction: Fraction of draws kept (paper: 0.10).
+        split_repeats: Number of random 75/25 splits tried (paper: 50).
+        test_fraction: Held-out fraction per split (paper: 0.25).
+        svm_c: Soft-margin penalty of the base SVMs.
+        kernel: Base-SVM kernel family: ``"rbf"`` (the paper, Section 4.4)
+            or ``"linear"`` (the only kernel pure in-sensor designs afford,
+            Section 1).
+        cv_folds: When set (paper: 10), member selection scores each draw
+            by k-fold cross-validation instead of a single held-out split
+            — exact protocol, k times the cost.
+        rbf_gamma: RBF kernel width of the base SVMs.
+        seed: Master seed for the whole protocol.
+    """
+
+    subspace_dim: int = 12
+    n_draws: int = 40
+    keep_fraction: float = 0.10
+    split_repeats: int = 1
+    test_fraction: float = 0.25
+    svm_c: float = 1.0
+    kernel: str = "rbf"
+    rbf_gamma: float = 0.5
+    seed: int = 42
+    cv_folds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.split_repeats < 1:
+            raise ConfigurationError("split_repeats must be >= 1")
+        if self.kernel not in ("rbf", "linear"):
+            raise ConfigurationError(
+                f"kernel must be 'rbf' or 'linear', got {self.kernel!r}"
+            )
+
+
+@dataclass
+class TrainedAnalyticEngine:
+    """A trained generic classifier ready to become an XPro instance.
+
+    Attributes:
+        dataset_symbol: Table 1 symbol the engine was trained for.
+        layout: Feature layout used during training.
+        normalizer: Min-max scaler fitted on the training features.
+        ensemble: The trained random-subspace classifier.
+        train_accuracy: Accuracy on the training split.
+        test_accuracy: Accuracy on the held-out split.
+        config: The training configuration used.
+    """
+
+    dataset_symbol: str
+    layout: FeatureLayout
+    normalizer: MinMaxNormalizer
+    ensemble: RandomSubspaceClassifier
+    train_accuracy: float
+    test_accuracy: float
+    config: TrainingConfig
+
+    def build_topology(self, energy_lib: EnergyLibrary) -> CellTopology:
+        """Materialise the functional-cell topology under an energy model."""
+        return build_topology(self.layout, self.ensemble, self.normalizer, energy_lib)
+
+    def predict_segment(self, segment: np.ndarray) -> int:
+        """Classify one raw segment through the software reference path."""
+        raw = self.layout.extract(segment)
+        normalised = self.normalizer.transform(raw)
+        return int(self.ensemble.predict(normalised[None, :])[0])
+
+
+def _train_once(
+    features: np.ndarray,
+    labels: np.ndarray,
+    layout: FeatureLayout,
+    config: TrainingConfig,
+    seed: int,
+) -> tuple[MinMaxNormalizer, RandomSubspaceClassifier, float, float]:
+    rng = np.random.default_rng(seed)
+    train_idx, test_idx = stratified_train_test_split(
+        labels, rng, test_fraction=config.test_fraction
+    )
+    normalizer = MinMaxNormalizer().fit(features[train_idx])
+    X_train = normalizer.transform(features[train_idx])
+    X_test = normalizer.transform(features[test_idx])
+    ensemble = RandomSubspaceClassifier(
+        n_features=layout.n_features,
+        subspace_dim=config.subspace_dim,
+        n_draws=config.n_draws,
+        keep_fraction=config.keep_fraction,
+        kernel_factory=(
+            (lambda: LinearKernel())
+            if config.kernel == "linear"
+            else (lambda: RBFKernel(gamma=config.rbf_gamma))
+        ),
+        C=config.svm_c,
+        seed=seed,
+        cv_folds=config.cv_folds,
+    )
+    ensemble.fit(X_train, labels[train_idx])
+    train_acc = accuracy(labels[train_idx], ensemble.predict(X_train))
+    test_acc = accuracy(labels[test_idx], ensemble.predict(X_test))
+    return normalizer, ensemble, train_acc, test_acc
+
+
+def train_analytic_engine(
+    dataset: BiosignalDataset,
+    config: Optional[TrainingConfig] = None,
+    layout: Optional[FeatureLayout] = None,
+) -> TrainedAnalyticEngine:
+    """Train the generic classifier for one test case (Section 4.4 protocol).
+
+    Args:
+        dataset: A labelled biosignal dataset (e.g. from
+            :func:`repro.signals.datasets.load_case`).
+        config: Protocol hyper-parameters; defaults to
+            :class:`TrainingConfig`.
+        layout: Feature layout; defaults to the paper's 5-level/128-aligned
+            layout at the dataset's segment length.
+
+    Returns:
+        The best :class:`TrainedAnalyticEngine` across ``split_repeats``
+        random splits (selected by test accuracy, as the paper does).
+    """
+    config = config or TrainingConfig()
+    layout = layout or FeatureLayout(segment_length=dataset.segment_length)
+    # Vectorised extraction (verified exactly equivalent to the reference
+    # per-row path in tests/test_batch_extraction.py); imported lazily to
+    # keep the dsp <-> core layering acyclic.
+    from repro.dsp.batch import batch_extract_matrix
+
+    features = batch_extract_matrix(dataset.segments, layout)
+
+    best: Optional[TrainedAnalyticEngine] = None
+    for repeat in range(config.split_repeats):
+        normalizer, ensemble, train_acc, test_acc = _train_once(
+            features, dataset.labels, layout, config, seed=config.seed + 1000 * repeat
+        )
+        candidate = TrainedAnalyticEngine(
+            dataset_symbol=dataset.spec.symbol,
+            layout=layout,
+            normalizer=normalizer,
+            ensemble=ensemble,
+            train_accuracy=train_acc,
+            test_accuracy=test_acc,
+            config=config,
+        )
+        if best is None or candidate.test_accuracy > best.test_accuracy:
+            best = candidate
+    assert best is not None  # split_repeats >= 1
+    return best

@@ -1,0 +1,100 @@
+"""Serialisation of partitions and evaluation results.
+
+A deployed XPro flow separates *generation* (run the trainer + generator
+once, on a workstation) from *use* (load the partition onto the device
+build system).  This module provides the interchange format: plain JSON
+for partitions and metrics (human-diffable, VCS-friendly).
+
+Trained models themselves are process artifacts (they embed support-vector
+matrices); persist those with numpy if needed — the partition JSON is what
+downstream tooling consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from repro.cells.topology import CellTopology
+from repro.core.partition import Partition
+from repro.errors import ConfigurationError
+from repro.sim.evaluate import PartitionMetrics
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format version written into every file (bump on breaking changes).
+FORMAT_VERSION = 1
+
+
+def partition_to_dict(
+    partition: Partition, metrics: PartitionMetrics | None = None
+) -> Dict[str, object]:
+    """JSON-ready dictionary for a partition (and optional metrics)."""
+    payload: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "label": partition.label,
+        "in_sensor": sorted(partition.in_sensor),
+    }
+    if metrics is not None:
+        payload["metrics"] = {
+            "sensor_compute_j": metrics.sensor_compute_j,
+            "sensor_tx_j": metrics.sensor_tx_j,
+            "sensor_rx_j": metrics.sensor_rx_j,
+            "sensor_total_j": metrics.sensor_total_j,
+            "delay_front_s": metrics.delay_front_s,
+            "delay_link_s": metrics.delay_link_s,
+            "delay_back_s": metrics.delay_back_s,
+            "delay_total_s": metrics.delay_total_s,
+            "aggregator_cpu_j": metrics.aggregator_cpu_j,
+            "aggregator_radio_j": metrics.aggregator_radio_j,
+            "crossing_bits_up": metrics.crossing_bits_up,
+            "crossing_bits_down": metrics.crossing_bits_down,
+        }
+    return payload
+
+
+def save_partition(
+    path: PathLike,
+    partition: Partition,
+    metrics: PartitionMetrics | None = None,
+) -> None:
+    """Write a partition (and optional metrics) to a JSON file."""
+    payload = partition_to_dict(partition, metrics)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_partition(
+    path: PathLike, topology: CellTopology | None = None
+) -> Partition:
+    """Read a partition from JSON, optionally validating against a topology.
+
+    Args:
+        path: The JSON file written by :func:`save_partition`.
+        topology: If given, every named cell must exist in it.
+
+    Raises:
+        ConfigurationError: On malformed files, wrong versions, or cells
+            unknown to the given topology.
+    """
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read partition file {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"partition file {path} is not a JSON object")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported partition format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    cells = payload.get("in_sensor")
+    if not isinstance(cells, list) or not all(isinstance(c, str) for c in cells):
+        raise ConfigurationError("'in_sensor' must be a list of cell names")
+    partition = Partition(
+        in_sensor=frozenset(cells), label=str(payload.get("label", "loaded"))
+    )
+    if topology is not None:
+        partition.validate(topology)
+    return partition

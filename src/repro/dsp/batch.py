@@ -1,0 +1,124 @@
+"""Vectorised batch feature extraction.
+
+Training extracts the 56-dimensional feature vector for every segment; the
+reference path (:meth:`repro.core.layout.FeatureLayout.extract`) does it
+row by row with per-feature Python calls.  This module computes the same
+values for a whole ``(n_segments, segment_length)`` batch with numpy array
+operations — identical results (verified by tests to float precision),
+roughly an order of magnitude faster, which matters when sweeping training
+configurations.
+
+Only the Haar wavelet has a vectorised DWT path here (the hardware default
+throughout the paper reproduction); other families fall back to the
+reference implementation per row.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.layout import FeatureLayout
+from repro.errors import ConfigurationError
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def batch_haar_level(batch: np.ndarray) -> tuple:
+    """One Haar DWT level over a (rows, n) batch -> (approx, detail)."""
+    if batch.ndim != 2 or batch.shape[1] % 2:
+        raise ConfigurationError("batch must be 2-D with even row length")
+    pairs = batch.reshape(batch.shape[0], -1, 2)
+    approx = (pairs[:, :, 0] + pairs[:, :, 1]) / _SQRT2
+    # Sign convention matches the reference convolution path of
+    # repro.dsp.wavelet: detail[k] = (x[2k] - x[2k+1]) / sqrt(2).
+    detail = (pairs[:, :, 0] - pairs[:, :, 1]) / _SQRT2
+    return approx, detail
+
+
+def batch_haar_multilevel(batch: np.ndarray, levels: int) -> List[np.ndarray]:
+    """Batched equivalent of :func:`repro.dsp.wavelet.dwt_multilevel` (Haar).
+
+    Returns the sub-band batches in the same order: D1..D(L-1), A(L), D(L).
+    """
+    if levels < 1:
+        raise ConfigurationError("levels must be >= 1")
+    if batch.shape[1] % (1 << levels):
+        raise ConfigurationError(
+            f"row length {batch.shape[1]} not divisible by 2**{levels}"
+        )
+    bands: List[np.ndarray] = []
+    approx = np.asarray(batch, dtype=np.float64)
+    for level in range(1, levels + 1):
+        approx, detail = batch_haar_level(approx)
+        if level < levels:
+            bands.append(detail)
+        else:
+            bands.append(approx)
+            bands.append(detail)
+    return bands
+
+
+def _batch_features(segment_batch: np.ndarray) -> np.ndarray:
+    """The 8 statistical features per row, columns in canonical order."""
+    X = np.asarray(segment_batch, dtype=np.float64)
+    maximum = X.max(axis=1)
+    minimum = X.min(axis=1)
+    mean = X.mean(axis=1)
+    e2 = (X * X).mean(axis=1)
+    var = e2 - mean * mean
+    std = np.sqrt(np.maximum(var, 0.0))
+    centered = X - mean[:, None]
+    m2 = (centered**2).mean(axis=1)
+    m3 = (centered**3).mean(axis=1)
+    m4 = (centered**4).mean(axis=1)
+    degenerate = m2 <= 1e-12
+    safe_m2 = np.where(degenerate, 1.0, m2)
+    skew = np.where(degenerate, 0.0, m3 / safe_m2**1.5)
+    kurt = np.where(degenerate, 0.0, m4 / safe_m2**2)
+    # Czero: crossings of the row mean with zero-run sign propagation.
+    signs = np.sign(centered)
+    # Propagate previous sign through exact zeros, column by column.
+    for col in range(signs.shape[1]):
+        if col == 0:
+            signs[:, 0] = np.where(signs[:, 0] == 0, 1.0, signs[:, 0])
+        else:
+            zero = signs[:, col] == 0
+            signs[zero, col] = signs[zero, col - 1]
+    czero = (signs[:, 1:] != signs[:, :-1]).sum(axis=1).astype(np.float64)
+    return np.column_stack([maximum, minimum, mean, var, std, czero, skew, kurt])
+
+
+def batch_extract_matrix(
+    segments: np.ndarray, layout: FeatureLayout
+) -> np.ndarray:
+    """Vectorised drop-in for :meth:`FeatureLayout.extract_matrix`.
+
+    Falls back to the reference path for non-Haar layouts or non-default
+    feature orderings (correctness over speed in the unusual cases).
+    """
+    X = np.asarray(segments, dtype=np.float64)
+    if X.ndim != 2:
+        raise ConfigurationError("segments must be a 2-D batch")
+    from repro.dsp.features import FEATURE_NAMES
+
+    if layout.wavelet != "haar" or tuple(layout.feature_names) != FEATURE_NAMES:
+        return layout.extract_matrix(X)
+    if X.shape[1] != layout.segment_length:
+        raise ConfigurationError(
+            f"rows must have length {layout.segment_length}, got {X.shape[1]}"
+        )
+
+    # Align for the DWT path (truncate/zero-pad every row).
+    target = layout.dwt_aligned_length
+    if X.shape[1] >= target:
+        aligned = X[:, :target]
+    else:
+        aligned = np.zeros((X.shape[0], target))
+        aligned[:, : X.shape[1]] = X
+
+    parts = [_batch_features(X)]
+    for band in batch_haar_multilevel(aligned, layout.dwt_levels):
+        parts.append(_batch_features(band))
+    return np.concatenate(parts, axis=1)

@@ -1,0 +1,294 @@
+"""Q16.16 fixed-point arithmetic as implemented by XPro functional cells.
+
+The paper (Section 4.4) states: *"We adopt 32-bit fixed-number with 16-bit
+integer and 16-bit decimals for functional cells."*  This module provides a
+software model of that number system so the in-sensor analytic part can be
+executed bit-faithfully in Python, and so tests can verify that the cross-end
+partition computes the same results as a monolithic implementation.
+
+Two interfaces are offered:
+
+- :class:`FixedPoint` -- a scalar value type with arithmetic operators,
+  saturation and explicit rounding semantics.  Convenient for unit tests and
+  for the reference implementations of individual functional cells.
+- vectorised helpers (:func:`quantize_array`, :func:`to_float_array`) --
+  used by the feature extractors to process whole segments efficiently while
+  keeping the same quantisation behaviour.
+
+Design choices modelled on common ASIC datapath practice:
+
+- truncation toward negative infinity on multiplication/division (matching a
+  simple right-shift after the multiply), and
+- saturating addition/subtraction (wearable DSP blocks saturate rather than
+  wrap, because wrapping corrupts downstream statistics silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float, "FixedPoint"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``integer_bits.fraction_bits``.
+
+    The total width is ``integer_bits + fraction_bits`` and includes the sign
+    bit (two's complement), so Q16.16 is a 32-bit word able to represent
+    values in ``[-32768.0, 32767.99998...]`` with resolution ``2**-16``.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ConfigurationError("integer_bits must include the sign bit (>= 1)")
+        if self.fraction_bits < 0:
+            raise ConfigurationError("fraction_bits must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        """Total word width in bits, including the sign bit."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        """Integer scale factor: one LSB represents ``1 / scale``."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw (scaled integer) value."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest (most negative) representable raw value."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """The real value of one least-significant bit."""
+        return 1.0 / self.scale
+
+    def saturate(self, raw: int) -> int:
+        """Clamp a raw integer into the representable range."""
+        if raw > self.max_raw:
+            return self.max_raw
+        if raw < self.min_raw:
+            return self.min_raw
+        return raw
+
+    def from_float(self, value: float) -> int:
+        """Quantise a real value to a raw integer (round-half-away, saturate)."""
+        if np.isnan(value):
+            raise ConfigurationError("cannot quantise NaN to fixed point")
+        raw = int(np.floor(value * self.scale + 0.5)) if value >= 0 else -int(
+            np.floor(-value * self.scale + 0.5)
+        )
+        return self.saturate(raw)
+
+    def to_float(self, raw: int) -> float:
+        """Convert a raw integer back to its real value."""
+        return raw / self.scale
+
+
+#: The paper's datapath format: 32-bit word, 16 integer + 16 fraction bits.
+Q16_16 = FixedPointFormat(integer_bits=16, fraction_bits=16)
+
+
+class FixedPoint:
+    """A scalar fixed-point value in a given :class:`FixedPointFormat`.
+
+    Arithmetic between two :class:`FixedPoint` values requires matching
+    formats; mixing with Python ints/floats quantises the other operand
+    first.  All results saturate to the format's range.
+
+    >>> x = FixedPoint(1.5)
+    >>> y = FixedPoint(2.25)
+    >>> float(x * y)
+    3.375
+    """
+
+    __slots__ = ("_raw", "_fmt")
+
+    def __init__(self, value: Number = 0.0, fmt: FixedPointFormat = Q16_16):
+        self._fmt = fmt
+        if isinstance(value, FixedPoint):
+            self._raw = fmt.saturate(
+                value._raw
+                if value._fmt == fmt
+                else fmt.from_float(float(value))
+            )
+        else:
+            self._raw = fmt.from_float(float(value))
+
+    @classmethod
+    def from_raw(cls, raw: int, fmt: FixedPointFormat = Q16_16) -> "FixedPoint":
+        """Build a value directly from its raw scaled-integer representation."""
+        out = cls.__new__(cls)
+        out._fmt = fmt
+        out._raw = fmt.saturate(int(raw))
+        return out
+
+    @property
+    def raw(self) -> int:
+        """The underlying scaled two's-complement integer."""
+        return self._raw
+
+    @property
+    def fmt(self) -> FixedPointFormat:
+        """The format this value is quantised in."""
+        return self._fmt
+
+    def _coerce(self, other: Number) -> "FixedPoint":
+        if isinstance(other, FixedPoint):
+            if other._fmt != self._fmt:
+                raise ConfigurationError(
+                    "cannot mix fixed-point formats "
+                    f"Q{self._fmt.integer_bits}.{self._fmt.fraction_bits} and "
+                    f"Q{other._fmt.integer_bits}.{other._fmt.fraction_bits}"
+                )
+            return other
+        return FixedPoint(other, self._fmt)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Number) -> "FixedPoint":
+        rhs = self._coerce(other)
+        return FixedPoint.from_raw(self._fmt.saturate(self._raw + rhs._raw), self._fmt)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "FixedPoint":
+        rhs = self._coerce(other)
+        return FixedPoint.from_raw(self._fmt.saturate(self._raw - rhs._raw), self._fmt)
+
+    def __rsub__(self, other: Number) -> "FixedPoint":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Number) -> "FixedPoint":
+        rhs = self._coerce(other)
+        # Full-precision product then truncating right-shift, as a hardware
+        # multiplier followed by a barrel shifter would produce.
+        raw = (self._raw * rhs._raw) >> self._fmt.fraction_bits
+        return FixedPoint.from_raw(self._fmt.saturate(raw), self._fmt)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "FixedPoint":
+        rhs = self._coerce(other)
+        if rhs._raw == 0:
+            raise ZeroDivisionError("fixed-point division by zero")
+        # Pre-shift the dividend so the quotient lands back in Qi.f.
+        raw = (self._raw << self._fmt.fraction_bits) // rhs._raw
+        return FixedPoint.from_raw(self._fmt.saturate(raw), self._fmt)
+
+    def __rtruediv__(self, other: Number) -> "FixedPoint":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "FixedPoint":
+        return FixedPoint.from_raw(self._fmt.saturate(-self._raw), self._fmt)
+
+    def __abs__(self) -> "FixedPoint":
+        return FixedPoint.from_raw(self._fmt.saturate(abs(self._raw)), self._fmt)
+
+    def sqrt(self) -> "FixedPoint":
+        """Square root via integer Newton iteration on the raw value.
+
+        Models the S-ALU "super computation" unit (Section 3.1.1), which
+        supports square root for the Std functional cell.
+        """
+        if self._raw < 0:
+            raise ConfigurationError("square root of negative fixed-point value")
+        if self._raw == 0:
+            return FixedPoint.from_raw(0, self._fmt)
+        # sqrt(raw / s) = sqrt(raw * s) / s, so take isqrt of raw << f.
+        target = self._raw << self._fmt.fraction_bits
+        x = 1 << ((target.bit_length() + 1) // 2)
+        while True:
+            nxt = (x + target // x) // 2
+            if nxt >= x:
+                break
+            x = nxt
+        return FixedPoint.from_raw(self._fmt.saturate(x), self._fmt)
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FixedPoint):
+            return self._fmt == other._fmt and self._raw == other._raw
+        if isinstance(other, (int, float)):
+            return self._raw == self._fmt.from_float(float(other))
+        return NotImplemented
+
+    def __lt__(self, other: Number) -> bool:
+        return self._raw < self._coerce(other)._raw
+
+    def __le__(self, other: Number) -> bool:
+        return self._raw <= self._coerce(other)._raw
+
+    def __gt__(self, other: Number) -> bool:
+        return self._raw > self._coerce(other)._raw
+
+    def __ge__(self, other: Number) -> bool:
+        return self._raw >= self._coerce(other)._raw
+
+    def __hash__(self) -> int:
+        return hash((self._raw, self._fmt))
+
+    # -- conversions --------------------------------------------------------
+
+    def __float__(self) -> float:
+        return self._fmt.to_float(self._raw)
+
+    def __int__(self) -> int:
+        return int(self._fmt.to_float(self._raw))
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedPoint({float(self):g}, "
+            f"Q{self._fmt.integer_bits}.{self._fmt.fraction_bits})"
+        )
+
+
+def quantize_array(
+    values: np.ndarray, fmt: FixedPointFormat = Q16_16
+) -> np.ndarray:
+    """Quantise a float array onto the fixed-point grid (returns floats).
+
+    The result contains the exact real values representable in ``fmt`` —
+    i.e. ``round(v * scale) / scale`` with saturation — which lets the
+    vectorised feature extractors reproduce the quantisation error of the
+    scalar :class:`FixedPoint` path without per-element Python overhead.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if np.isnan(arr).any():
+        raise ConfigurationError("cannot quantise NaN values to fixed point")
+    scaled = np.where(
+        arr >= 0, np.floor(arr * fmt.scale + 0.5), -np.floor(-arr * fmt.scale + 0.5)
+    )
+    clipped = np.clip(scaled, fmt.min_raw, fmt.max_raw)
+    return clipped / fmt.scale
+
+
+def to_float_array(values) -> np.ndarray:
+    """Convert an iterable of :class:`FixedPoint` (or numbers) to float64."""
+    return np.asarray([float(v) for v in values], dtype=np.float64)

@@ -1,0 +1,80 @@
+"""Feature normalisation to the [0, 1] range.
+
+Section 4.4: *"All the statistical features are normalized to range
+[0, 1]."*  The normaliser is fit on the training set only (per-feature min
+and max) and then applied to both training and testing features; values
+outside the training range are clipped, which is what a fixed-point
+saturating datapath would do on the sensor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class MinMaxNormalizer:
+    """Per-column min-max scaler with clipping, fit/transform interface.
+
+    >>> norm = MinMaxNormalizer()
+    >>> X = norm.fit_transform(np.array([[0.0, 10.0], [2.0, 30.0]]))
+    >>> X.min(), X.max()
+    (0.0, 1.0)
+    """
+
+    def __init__(self) -> None:
+        self._mins: Optional[np.ndarray] = None
+        self._ranges: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mins is not None
+
+    @property
+    def mins(self) -> np.ndarray:
+        """Fitted per-column minima."""
+        self._require_fitted()
+        return self._mins.copy()
+
+    @property
+    def ranges(self) -> np.ndarray:
+        """Fitted per-column ranges (zeros replaced by 1 at fit time)."""
+        self._require_fitted()
+        return self._ranges.copy()
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("normalizer used before fit()")
+
+    def fit(self, features: np.ndarray) -> "MinMaxNormalizer":
+        """Record per-column min/max from a (rows, columns) feature matrix."""
+        mat = np.asarray(features, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[0] == 0:
+            raise ConfigurationError("fit expects a non-empty 2-D matrix")
+        self._mins = mat.min(axis=0)
+        ranges = mat.max(axis=0) - self._mins
+        # Constant columns map to 0 rather than dividing by zero.
+        ranges[ranges == 0] = 1.0
+        self._ranges = ranges
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Scale into [0, 1] using the fitted statistics, clipping outliers."""
+        if not self.is_fitted:
+            raise ConfigurationError("normalizer used before fit()")
+        mat = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if mat.shape[1] != len(self._mins):
+            raise ConfigurationError(
+                f"feature dimension {mat.shape[1]} != fitted {len(self._mins)}"
+            )
+        scaled = (mat - self._mins) / self._ranges
+        out = np.clip(scaled, 0.0, 1.0)
+        return out if np.asarray(features).ndim == 2 else out[0]
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on the matrix, then transform it."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,159 @@
+"""Single-pass (streaming) statistical feature extraction.
+
+The in-sensor feature cells are single-pass datapaths: they consume the
+segment sample by sample, maintaining raw power sums
+``S1 = sum x, S2 = sum x^2, S3 = sum x^3, S4 = sum x^4`` plus running
+max/min, and produce the statistical features at segment end — exactly the
+hardware structure behind the op counts in
+:func:`repro.dsp.features.operation_counts`.  This module provides that
+accumulator as a software object, so streaming deployments (see
+``examples/ecg_monitor.py``) can compute features without buffering a
+whole segment, and so the tests can verify the single-pass formulation is
+algebraically identical to the batch reference.
+
+The zero-crossing feature (Czero) is deliberately absent: it counts
+crossings of the *segment mean*, which requires a second pass over a
+buffered segment — which is precisely why the hardware Czero cell carries
+a buffer (Fig. 3) and the highest comparator count of the feature set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+from repro.errors import ConfigurationError
+
+#: Features the single-pass accumulator produces, in canonical order.
+STREAMING_FEATURES = ("max", "min", "mean", "var", "std", "skew", "kurt")
+
+
+class StreamingMoments:
+    """Single-pass accumulator of raw power sums and extrema.
+
+    >>> acc = StreamingMoments()
+    >>> acc.extend([1.0, 2.0, 3.0])
+    >>> acc.finalize()["mean"]
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._s1 = 0.0
+        self._s2 = 0.0
+        self._s3 = 0.0
+        self._s4 = 0.0
+        self._max = -math.inf
+        self._min = math.inf
+
+    @property
+    def count(self) -> int:
+        """Samples consumed so far."""
+        return self._n
+
+    def update(self, sample: float) -> None:
+        """Consume one sample (one clock of the hardware datapath)."""
+        x = float(sample)
+        if math.isnan(x):
+            raise ConfigurationError("cannot accumulate NaN samples")
+        self._n += 1
+        self._s1 += x
+        x2 = x * x
+        self._s2 += x2
+        self._s3 += x2 * x
+        self._s4 += x2 * x2
+        if x > self._max:
+            self._max = x
+        if x < self._min:
+            self._min = x
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Consume a burst of samples."""
+        for sample in samples:
+            self.update(sample)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two accumulators (parallel sub-segment datapaths)."""
+        out = StreamingMoments()
+        out._n = self._n + other._n
+        out._s1 = self._s1 + other._s1
+        out._s2 = self._s2 + other._s2
+        out._s3 = self._s3 + other._s3
+        out._s4 = self._s4 + other._s4
+        out._max = max(self._max, other._max)
+        out._min = min(self._min, other._min)
+        return out
+
+    def finalize(self) -> Dict[str, float]:
+        """Compute the features from the accumulated sums.
+
+        Uses the population-moment conventions of
+        :mod:`repro.dsp.features`: ``var = E[x^2] - E[x]^2``,
+        ``skew = m3 / m2^1.5``, ``kurt = m4 / m2^2``.
+        """
+        if self._n == 0:
+            raise ConfigurationError("finalize() before any samples")
+        n = self._n
+        mean = self._s1 / n
+        e2 = self._s2 / n
+        e3 = self._s3 / n
+        e4 = self._s4 / n
+        var = e2 - mean * mean
+        # Central moments from raw moments (binomial expansion).
+        m3 = e3 - 3 * mean * e2 + 2 * mean**3
+        m4 = e4 - 4 * mean * e3 + 6 * mean**2 * e2 - 3 * mean**4
+        # Degeneracy guard: the raw-sum formulation (what the hardware
+        # datapath computes) cancels catastrophically on (near-)constant
+        # inputs, leaving O(n * eps * E[x^2]) garbage in `var`.  Treat any
+        # variance below that noise floor as zero, scale-aware.
+        noise_floor = max(1e-12, 1e-12 * n * abs(e2))
+        if var <= noise_floor:
+            var = 0.0
+            skew = 0.0
+            kurt = 0.0
+        else:
+            skew = m3 / var**1.5
+            kurt = m4 / var**2
+        return {
+            "max": self._max,
+            "min": self._min,
+            "mean": mean,
+            "var": var,
+            "std": math.sqrt(max(var, 0.0)),
+            "skew": skew,
+            "kurt": kurt,
+        }
+
+
+class CrossingCounter:
+    """Streaming crossing counter about a *fixed* level.
+
+    Matches :func:`repro.dsp.features.crossing_count` for a known level
+    (e.g. a calibrated baseline); the mean-referenced Czero of the generic
+    feature set needs the buffered two-pass cell instead.
+    """
+
+    def __init__(self, level: float = 0.0) -> None:
+        self.level = float(level)
+        self._last_sign = 0
+        self._crossings = 0
+        self._n = 0
+
+    @property
+    def crossings(self) -> int:
+        """Crossings counted so far."""
+        return self._crossings
+
+    def update(self, sample: float) -> None:
+        """Consume one sample."""
+        x = float(sample) - self.level
+        sign = 1 if x > 0 else (-1 if x < 0 else self._last_sign or 1)
+        if self._n > 0 and sign != self._last_sign:
+            self._crossings += 1
+        self._last_sign = sign
+        self._n += 1
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Consume a burst of samples."""
+        for sample in samples:
+            self.update(sample)

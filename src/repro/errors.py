@@ -1,0 +1,42 @@
+"""Exception hierarchy for the XPro reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`XProError`, so
+callers can catch one type to handle any library failure while still
+distinguishing configuration mistakes from solver failures.
+"""
+
+from __future__ import annotations
+
+
+class XProError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(XProError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class TopologyError(XProError):
+    """A functional-cell topology is malformed (cycles, dangling ports...)."""
+
+
+class PartitionError(XProError):
+    """The Automatic XPro Generator could not produce a valid partition."""
+
+
+class InfeasibleConstraintError(PartitionError):
+    """No partition satisfies the requested delay constraint.
+
+    By construction (Eq. 4 of the paper) this should never happen when the
+    constraint is ``min(T_sensor, T_aggregator)``, because at least one of the
+    two single-end extreme cuts is always feasible.  It can happen for
+    user-supplied tighter constraints.
+    """
+
+
+class SimulationError(XProError):
+    """The cross-end system simulator reached an inconsistent state."""
+
+
+class TrainingError(XProError):
+    """A classifier could not be trained (degenerate data, no convergence)."""

@@ -1,0 +1,50 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+- :mod:`repro.eval.experiments` -- one function per table/figure, returning
+  structured rows; the benchmark suite and the examples are thin layers over
+  these.
+- :mod:`repro.eval.context` -- caching of trained engines so the whole
+  evaluation trains each test case once.
+- :mod:`repro.eval.tables` -- plain-text rendering of result tables in the
+  paper's shape.
+"""
+
+from repro.eval.charts import bar_chart
+from repro.eval.context import ExperimentContext
+from repro.eval.codesign import codesign_rows
+from repro.eval.motivation import motivation_rows
+from repro.eval.pareto import ParetoPoint, pareto_frontier
+from repro.eval.report import generate_report, write_report
+from repro.eval.experiments import (
+    fig4_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    headline_summary,
+    table1_rows,
+)
+from repro.eval.tables import format_table
+
+__all__ = [
+    "ExperimentContext",
+    "ParetoPoint",
+    "bar_chart",
+    "codesign_rows",
+    "motivation_rows",
+    "generate_report",
+    "pareto_frontier",
+    "write_report",
+    "fig10_rows",
+    "fig11_rows",
+    "fig12_rows",
+    "fig13_rows",
+    "fig4_rows",
+    "fig8_rows",
+    "fig9_rows",
+    "format_table",
+    "headline_summary",
+    "table1_rows",
+]

@@ -1,0 +1,69 @@
+"""Plain-text (ASCII) bar charts for experiment results.
+
+The paper's figures are grouped bar charts; this renderer produces the
+terminal equivalent so the benchmark outputs can be *read* as figures, not
+just tables.  No plotting dependencies — bars are unicode block strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    rows: Sequence[Dict[str, object]],
+    label_key: str,
+    value_keys: Sequence[str],
+    width: int = 40,
+    title: str | None = None,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render grouped horizontal bars.
+
+    Args:
+        rows: Result rows (as produced by :mod:`repro.eval.experiments`).
+        label_key: Key providing the group label (e.g. ``"case"``).
+        value_keys: Numeric keys, one bar per key per row.
+        width: Character width of the longest bar.
+        title: Optional heading.
+        value_format: Format spec for the value printed after each bar.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not rows:
+        raise ConfigurationError("cannot chart an empty result set")
+    if width < 4:
+        raise ConfigurationError("width must be at least 4 characters")
+    values: List[float] = []
+    for row in rows:
+        for key in value_keys:
+            if key not in row:
+                raise ConfigurationError(f"row missing value key {key!r}: {row}")
+            values.append(float(row[key]))  # type: ignore[arg-type]
+    peak = max(values)
+    if peak <= 0:
+        raise ConfigurationError("bar chart needs at least one positive value")
+
+    label_width = max(len(str(row[label_key])) for row in rows)
+    series_width = max(len(k) for k in value_keys)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        lines.append(str(row[label_key]).ljust(label_width))
+        for key in value_keys:
+            value = float(row[key])  # type: ignore[arg-type]
+            scaled = value / peak * width
+            full = int(scaled)
+            bar = _BAR * full + (_HALF if scaled - full >= 0.5 else "")
+            lines.append(
+                f"  {key.ljust(series_width)} |{bar.ljust(width)}| "
+                + value_format.format(value)
+            )
+    return "\n".join(lines)

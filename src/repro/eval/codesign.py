@@ -1,0 +1,101 @@
+"""Algorithm/hardware co-design sweep: classifier size vs sensor energy.
+
+The paper fixes the ensemble's shape (12-feature subspaces, top-10% of 100
+draws) and optimises the hardware mapping.  But the classifier's shape is
+itself an architecture knob: larger subspaces and more members usually buy
+accuracy, cost more feature cells and heavier SVM cells, and change what
+the generator can offload.  :func:`codesign_rows` sweeps that axis and
+reports, per configuration:
+
+- held-out accuracy (the algorithm side),
+- used feature count and total cell count (the topology side),
+- the generated cut's sensor energy and battery lifetime (the hardware
+  side),
+
+so the accuracy/lifetime frontier a product team would actually choose
+from becomes visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.errors import ConfigurationError
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.sim.lifetime import (
+    MODALITY_SAMPLE_RATES,
+    battery_lifetime_hours,
+    event_period_s,
+)
+from repro.signals.datasets import BiosignalDataset
+
+#: (subspace_dim, n_draws, keep_fraction) points of the default sweep.
+DEFAULT_SWEEP: Tuple[Tuple[int, int, float], ...] = (
+    (6, 40, 0.10),
+    (12, 40, 0.10),
+    (12, 100, 0.10),
+    (18, 40, 0.10),
+)
+
+
+def codesign_rows(
+    dataset: BiosignalDataset,
+    sweep: Sequence[Tuple[int, int, float]] = DEFAULT_SWEEP,
+    node: str = "90nm",
+    wireless: str = "model2",
+    cpu: Optional[AggregatorCPU] = None,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """Sweep classifier shapes and report the co-design tradeoff.
+
+    Args:
+        dataset: The workload (training happens per sweep point).
+        sweep: ``(subspace_dim, n_draws, keep_fraction)`` points.
+        node: Process technology for the hardware side.
+        wireless: Transceiver model.
+        cpu: Aggregator CPU model.
+        seed: Training seed (shared across points so the split matches).
+
+    Returns:
+        One row per sweep point, in sweep order.
+    """
+    if not sweep:
+        raise ConfigurationError("sweep must contain at least one point")
+    cpu = cpu or AggregatorCPU()
+    lib = EnergyLibrary(node)
+    link = WirelessLink(wireless)
+    period = event_period_s(
+        dataset.segment_length, MODALITY_SAMPLE_RATES[dataset.spec.modality]
+    )
+
+    rows: List[Dict[str, object]] = []
+    for subspace_dim, n_draws, keep_fraction in sweep:
+        config = TrainingConfig(
+            subspace_dim=subspace_dim,
+            n_draws=n_draws,
+            keep_fraction=keep_fraction,
+            seed=seed,
+        )
+        engine = train_analytic_engine(dataset, config)
+        topology = engine.build_topology(lib)
+        generator = AutomaticXProGenerator(topology, lib, link, cpu)
+        result = generator.generate()
+        rows.append(
+            {
+                "subspace_dim": subspace_dim,
+                "n_draws": n_draws,
+                "members": len(engine.ensemble.members),
+                "accuracy": engine.test_accuracy,
+                "used_features": len(engine.ensemble.used_feature_indices()),
+                "cells": len(topology),
+                "cross_energy_uj": result.metrics.sensor_total_j * 1e6,
+                "lifetime_h": battery_lifetime_hours(
+                    result.metrics.sensor_total_j, period
+                ),
+            }
+        )
+    return rows

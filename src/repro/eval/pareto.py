@@ -1,0 +1,88 @@
+"""Energy/delay Pareto exploration of the partitioning design space.
+
+The paper fixes the delay limit to Eq. 4's ``min(T_sensor, T_aggregator)``;
+a system designer may care about other points — a looser real-time budget
+buys sensor energy, a tighter one costs it.  :func:`pareto_frontier`
+sweeps the delay constraint through the generator and returns the
+non-dominated (delay, energy) points, each with its partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+import numpy as np
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.errors import ConfigurationError, InfeasibleConstraintError
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated operating point.
+
+    Attributes:
+        delay_limit_s: The constraint that produced this point.
+        delay_s: Achieved end-to-end delay.
+        energy_j: Achieved sensor energy per event.
+        in_sensor: The partition realising it.
+    """
+
+    delay_limit_s: float
+    delay_s: float
+    energy_j: float
+    in_sensor: FrozenSet[str]
+
+
+def pareto_frontier(
+    generator: AutomaticXProGenerator,
+    n_points: int = 12,
+) -> List[ParetoPoint]:
+    """Sweep delay limits and keep the non-dominated (delay, energy) points.
+
+    The sweep spans from just above the fastest achievable delay (the
+    all-front critical path is a lower bound only when compute dominates,
+    so we anchor on the measured extremes) up to twice the slower
+    single-end engine.
+
+    Args:
+        generator: Configured generator (topology + hardware models).
+        n_points: Number of constraint values to try.
+
+    Returns:
+        Pareto-optimal points sorted by increasing delay.
+    """
+    if n_points < 2:
+        raise ConfigurationError("n_points must be >= 2")
+    refs = generator.reference_metrics()
+    fast = min(m.delay_total_s for m in refs.values())
+    slow = max(m.delay_total_s for m in refs.values())
+    limits = np.linspace(0.6 * fast, 2.0 * slow, n_points)
+
+    candidates: List[ParetoPoint] = []
+    for limit in limits:
+        try:
+            result = generator.generate(delay_limit_s=float(limit))
+        except InfeasibleConstraintError:
+            continue
+        candidates.append(
+            ParetoPoint(
+                delay_limit_s=float(limit),
+                delay_s=result.metrics.delay_total_s,
+                energy_j=result.metrics.sensor_total_j,
+                in_sensor=result.metrics.in_sensor,
+            )
+        )
+    if not candidates:
+        raise InfeasibleConstraintError("no delay limit in the sweep was feasible")
+
+    # Keep the non-dominated set (min energy for any given delay budget).
+    candidates.sort(key=lambda p: (p.delay_s, p.energy_j))
+    frontier: List[ParetoPoint] = []
+    best_energy = float("inf")
+    for point in candidates:
+        if point.energy_j < best_energy - 1e-18:
+            frontier.append(point)
+            best_energy = point.energy_j
+    return frontier

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3g}",
+    title: str | None = None,
+) -> str:
+    """Render result rows as an aligned plain-text table.
+
+    Args:
+        rows: Row dictionaries (as returned by :mod:`repro.eval.experiments`).
+        columns: Column order; defaults to the keys of the first row.
+        float_format: Format spec applied to float values.
+        title: Optional heading line.
+
+    Returns:
+        The formatted table as a single string.
+    """
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[render(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(cols[i]), max(len(r[i]) for r in cells)) for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Programmatic reproduction-validation suite.
+
+The benchmark modules assert the paper's qualitative claims; this module
+exposes the same checks as a callable API so a user can validate *their*
+configuration (different datasets, calibration, radios) without running
+pytest: ``python -m repro validate`` or :func:`validate_reproduction`.
+
+Only scale-independent claims are checked — orderings, never-worse
+guarantees, structural invariants — so the suite passes at any honest
+harness size.  Quantitative factor bands (2.4x etc.) remain the benchmark
+suite's job at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cells.library import characterize_all_modules
+from repro.eval.context import ExperimentContext
+from repro.hw.energy import ALUMode
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one claim.
+
+    Attributes:
+        claim: Short statement of the paper claim.
+        passed: Whether the check held.
+        detail: Measured evidence (or the violation).
+    """
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _check(claim: str, passed: bool, detail: str) -> ClaimResult:
+    return ClaimResult(claim=claim, passed=bool(passed), detail=detail)
+
+
+def validate_reproduction(
+    context: ExperimentContext,
+    node: str = "90nm",
+    wireless: str = "model2",
+) -> List[ClaimResult]:
+    """Run every scale-independent claim check; returns all results.
+
+    Args:
+        context: Experiment context (any harness scale).
+        node: Process node for the single-configuration checks.
+        wireless: Transceiver model for the single-configuration checks.
+    """
+    results: List[ClaimResult] = []
+
+    # -- Fig. 4: ALU-mode optima ------------------------------------------------
+    rows = {c.module: c for c in characterize_all_modules(context.energy_library(node))}
+    serial_modules = [
+        m for m in ("max", "min", "mean", "var", "czero", "skew", "kurt", "svm", "fusion")
+        if rows[m].best_mode is ALUMode.SERIAL
+    ]
+    results.append(_check(
+        "serial is the optimal ALU mode for the simple modules (Fig. 4)",
+        len(serial_modules) == 9,
+        f"{len(serial_modules)}/9 modules serial-optimal",
+    ))
+    results.append(_check(
+        "Std and DWT prefer the pipeline mode (Fig. 4)",
+        rows["std"].best_mode is ALUMode.PIPELINE
+        and rows["dwt"].best_mode is ALUMode.PIPELINE,
+        f"std={rows['std'].best_mode.value}, dwt={rows['dwt'].best_mode.value}",
+    ))
+    dwt = rows["dwt"]
+    ratio = dwt.per_mode[ALUMode.PARALLEL] / dwt.per_mode[ALUMode.SERIAL]
+    results.append(_check(
+        "parallel DWT costs orders of magnitude more than serial (Fig. 4)",
+        ratio > 10,
+        f"parallel/serial = {ratio:.1f}x",
+    ))
+
+    # -- per-case cut quality --------------------------------------------------
+    for symbol in context.all_cases():
+        metrics = context.strategy_metrics(symbol, node, wireless)
+        cross = metrics["cross"]
+        limit = min(
+            metrics["sensor"].delay_total_s, metrics["aggregator"].delay_total_s
+        ) * (1 + 1e-9)
+        feasible = [
+            m for m in (metrics["sensor"], metrics["aggregator"])
+            if m.delay_total_s <= limit
+        ]
+        never_worse = all(
+            cross.sensor_total_j <= m.sensor_total_j + 1e-15 for m in feasible
+        )
+        results.append(_check(
+            f"{symbol}: cross-end never worse than feasible single ends (§3.2)",
+            never_worse,
+            f"cross {cross.sensor_total_j * 1e6:.3f} uJ vs "
+            + ", ".join(f"{m.sensor_total_j * 1e6:.3f}" for m in feasible),
+        ))
+        results.append(_check(
+            f"{symbol}: cross-end meets the Eq. 4 delay limit",
+            cross.delay_total_s <= limit,
+            f"{cross.delay_total_s * 1e3:.3f} ms <= {limit * 1e3:.3f} ms",
+        ))
+
+    # -- Fig. 9 ordering flip ----------------------------------------------------
+    symbol = context.all_cases()[2]  # an EEG case (compute-heavy)
+    m1 = context.strategy_metrics(symbol, node, "model1")
+    m3 = context.strategy_metrics(symbol, node, "model3")
+    results.append(_check(
+        "expensive radio favours the sensor engine (Fig. 9, Model 1)",
+        m1["sensor"].sensor_total_j < m1["aggregator"].sensor_total_j,
+        f"S {m1['sensor'].sensor_total_j * 1e6:.3f} uJ vs "
+        f"A {m1['aggregator'].sensor_total_j * 1e6:.3f} uJ",
+    ))
+    # The Model-3 reversal presupposes realistic compute weight: the
+    # in-sensor engine must cost more than streaming raw data over the
+    # ultra-cheap radio.  Tiny test harnesses (few-member ensembles) can
+    # sit below that floor; the claim is then vacuous, not violated.
+    flip_applicable = (
+        m3["sensor"].sensor_compute_j > m3["aggregator"].sensor_total_j
+    )
+    results.append(_check(
+        "cheap radio reverses the ordering (Fig. 9, Model 3)",
+        (m3["aggregator"].sensor_total_j < m3["sensor"].sensor_total_j)
+        if flip_applicable
+        else True,
+        (
+            f"A {m3['aggregator'].sensor_total_j * 1e6:.3f} uJ vs "
+            f"S {m3['sensor'].sensor_total_j * 1e6:.3f} uJ"
+            if flip_applicable
+            else "not applicable at this harness scale (in-sensor compute "
+            "below the Model-3 raw-streaming floor)"
+        ),
+    ))
+
+    # -- Fig. 10 structure ----------------------------------------------------------
+    d = context.strategy_metrics(symbol, node, wireless)
+    results.append(_check(
+        "aggregator engine's delay is wireless-dominated (Fig. 10)",
+        d["aggregator"].delay_link_s > d["aggregator"].delay_back_s
+        and d["aggregator"].delay_front_s == 0.0,
+        f"link {d['aggregator'].delay_link_s * 1e3:.3f} ms, "
+        f"back {d['aggregator'].delay_back_s * 1e3:.3f} ms",
+    ))
+    results.append(_check(
+        "sensor engine's uplink is result-only (Fig. 10/11)",
+        d["sensor"].crossing_bits_up <= 16 + 8,
+        f"{d['sensor'].crossing_bits_up} bits up per event",
+    ))
+
+    return results
+
+
+def summarize(results: List[ClaimResult]) -> str:
+    """Render the claim results as a pass/fail table."""
+    lines = ["reproduction validation:"]
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        lines.append(f"  [{mark}] {result.claim}")
+        lines.append(f"         {result.detail}")
+    n_pass = sum(r.passed for r in results)
+    lines.append(f"{n_pass}/{len(results)} claims hold")
+    return "\n".join(lines)

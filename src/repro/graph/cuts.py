@@ -1,0 +1,72 @@
+"""Reference cuts and exhaustive partition enumeration.
+
+The paper compares four cuts (Figure 12):
+
+- the **aggregator engine**: every functional cell in the back-end
+  (the paper's Cut-1);
+- the **sensor node engine**: every functional cell in the front-end
+  (the paper's Cut-2);
+- the **trivial cut**: feature extractors (and DWT) on the sensor, the
+  classifier ensemble and fusion in the aggregator — "placed between the
+  feature extractors and the classifier";
+- the **Cross cut** produced by the Automatic XPro Generator (min-cut).
+
+:func:`enumerate_partitions` yields every subset of cells for small
+topologies; the tests use it to certify that the generator's cut is the true
+optimum.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterator
+
+from repro.cells.topology import CellTopology
+from repro.errors import ConfigurationError
+
+#: Module families considered "classifier side" by the trivial cut.
+_CLASSIFIER_MODULES = frozenset({"svm", "fusion"})
+
+
+def sensor_cut(topology: CellTopology) -> FrozenSet[str]:
+    """All cells on the sensor node (the in-sensor single-end engine)."""
+    return frozenset(topology.cells)
+
+
+def aggregator_cut(topology: CellTopology) -> FrozenSet[str]:
+    """No cells on the sensor node (the in-aggregator single-end engine)."""
+    return frozenset()
+
+
+def trivial_cut(topology: CellTopology) -> FrozenSet[str]:
+    """Features (and their DWT predecessors) in-sensor, classifiers in-aggregator.
+
+    This is the intuitive cut of Section 5.5: features are a compact
+    representation of the segment, so cutting at the feature/classifier
+    boundary minimises transmitted data without any search.
+    """
+    return frozenset(
+        name
+        for name, cell in topology.cells.items()
+        if cell.module not in _CLASSIFIER_MODULES
+    )
+
+
+def enumerate_partitions(
+    topology: CellTopology, max_cells: int = 16
+) -> Iterator[FrozenSet[str]]:
+    """Yield every in-sensor subset of cells (exhaustive design space).
+
+    Any subset is a legal partition — data crossing the cut in either
+    direction is transmitted by the link — so the design space is the full
+    power set.  Guarded by ``max_cells`` because it is exponential; intended
+    for certifying optimality on small test topologies.
+    """
+    names = sorted(topology.cells)
+    if len(names) > max_cells:
+        raise ConfigurationError(
+            f"refusing to enumerate 2^{len(names)} partitions (> 2^{max_cells})"
+        )
+    for size in range(len(names) + 1):
+        for subset in combinations(names, size):
+            yield frozenset(subset)

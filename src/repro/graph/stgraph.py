@@ -1,0 +1,163 @@
+"""The XPro s-t graph construction (Section 3.2.2).
+
+Nodes:
+
+- ``F`` — the front-end sensor node (cut source);
+- ``B`` — the back-end aggregator (cut sink);
+- one node per functional cell;
+- one *data node* per produced port with at least one consumer (plus the
+  result port).  Data nodes generalise the paper's dummy node "D": the
+  paper introduces D for the raw source segment so that "grouped" cells
+  (cells reading the same data) share a single transmission cost; the same
+  construction applies verbatim to every intermediate port with multiple
+  consumers, so we instantiate one per port.
+
+Edges (capacity = energy in joules; cut counts edges from the F side to the
+B side):
+
+- ``cell -> B`` with the cell's in-sensor computation energy: cut exactly
+  when the cell stays on the sensor (Eq. 2's ``P_i * t_i`` term);
+- ``producer -> data_node`` with the port's one-shot transmission energy
+  (payload + 8-bit header), and ``data_node -> consumer`` with infinite
+  capacity: if the producer is on the sensor and *any* consumer is in the
+  aggregator, the infinite edges force the data node to the B side and the
+  Tx edge into the cut — transmission paid once, "grouped" property held;
+- ``consumer -> producer`` with the port's reception energy: cut when the
+  consumer sits on the sensor but its producer's data comes from the
+  aggregator (the reverse-direction edge of the paper's construction);
+- the raw segment is the virtual producer ``F`` itself (the paper's
+  ``F -> D`` edge with the full-raw-transmission weight);
+- the result port's data node gets an infinite edge to ``B``: the
+  classification outcome must always reach the aggregator.
+
+With this construction, the capacity of any finite F/B cut equals the
+sensor-node energy per event of the corresponding partition — verified
+against the independent system simulator in the integration tests — and the
+min cut is the energy-optimal partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.cells.cell import SOURCE_CELL, PortRef
+from repro.cells.topology import CellTopology
+from repro.errors import PartitionError
+from repro.graph.maxflow import INFINITY, FlowNetwork
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+
+#: Node ids of the two ends.
+FRONT = "F"
+BACK = "B"
+
+
+def _data_node(ref: PortRef) -> str:
+    return f"D[{ref.cell}.{ref.port}]"
+
+
+@dataclass(frozen=True)
+class STGraph:
+    """The built s-t graph plus the bookkeeping to interpret cuts.
+
+    Attributes:
+        network: The flow network (consumed by :meth:`solve`).
+        topology: The cell topology the graph was built from.
+        compute_energy: cell name -> in-sensor computation energy (J).
+        tx_energy: port ref -> one-shot transmission energy (J).
+        rx_energy: (port ref, consumer) -> reception energy (J).
+    """
+
+    network: FlowNetwork
+    topology: CellTopology
+    compute_energy: Dict[str, float]
+    tx_energy: Dict[PortRef, float]
+    rx_energy: Dict[Tuple[PortRef, str], float]
+
+    def solve(self) -> Tuple[FrozenSet[str], float]:
+        """Run min-cut and return (in-sensor cell set, sensor energy).
+
+        The returned set contains only real cell names (data nodes and the
+        F/B terminals are stripped).
+        """
+        result = self.network.max_flow(FRONT, BACK)
+        if result.max_flow == INFINITY:
+            raise PartitionError("s-t graph has no finite cut (bad construction)")
+        cell_names = set(self.topology.cells)
+        in_sensor = frozenset(n for n in result.source_side if n in cell_names)
+        return in_sensor, result.max_flow
+
+
+def build_st_graph(
+    topology: CellTopology,
+    energy_lib: EnergyLibrary,
+    link: WirelessLink,
+    delay_weights: Dict[str, float] | None = None,
+) -> STGraph:
+    """Build the s-t graph for a topology under given hardware models.
+
+    Args:
+        topology: The functional-cell dataflow graph.
+        energy_lib: In-sensor energy model (node + ALU modes).
+        link: Wireless link model (Tx/Rx energies per payload).
+        delay_weights: Optional Lagrangian terms added to capacities by the
+            delay-constrained generator: maps ``"cell:<name>"``,
+            ``"back:<name>"``, ``"tx:<cell>.<port>"`` and
+            ``"rx:<cell>.<port>:<consumer>"`` keys to extra joule-equivalent
+            weights.  Absent keys add nothing.
+
+    Returns:
+        The :class:`STGraph` ready to :meth:`~STGraph.solve`.
+    """
+    weights = delay_weights or {}
+    net = FlowNetwork()
+    compute_energy: Dict[str, float] = {}
+    tx_energy: Dict[PortRef, float] = {}
+    rx_energy: Dict[Tuple[PortRef, str], float] = {}
+
+    consumers_map = topology.consumers_by_port()
+    result_ref = topology.result
+
+    # Cell computation edges (and optional back-end Lagrangian edges).
+    for name, cell in topology.cells.items():
+        cost = energy_lib.cell_cost(cell.op_counts, cell.mode, cell.parallel_width)
+        compute_energy[name] = cost.energy_j
+        net.add_edge(name, BACK, cost.energy_j + weights.get(f"cell:{name}", 0.0))
+        back_weight = weights.get(f"back:{name}", 0.0)
+        if back_weight > 0.0:
+            net.add_edge(FRONT, name, back_weight)
+
+    # Data nodes: one per consumed port (plus the result port).
+    for ref, port in topology.producer_ports():
+        port_consumers = consumers_map.get(ref, [])
+        is_result = ref == result_ref
+        if not port_consumers and not is_result:
+            continue
+        dnode = _data_node(ref)
+        producer = FRONT if ref.cell == SOURCE_CELL else ref.cell
+        tx = link.tx_energy(port.n_values, port.bits_per_value)
+        tx_energy[ref] = tx
+        net.add_edge(
+            producer, dnode, tx + weights.get(f"tx:{ref.cell}.{ref.port}", 0.0)
+        )
+        for consumer in port_consumers:
+            net.add_edge(dnode, consumer, INFINITY)
+            if ref.cell != SOURCE_CELL:
+                rx = link.rx_energy(port.n_values, port.bits_per_value)
+                rx_energy[(ref, consumer)] = rx
+                net.add_edge(
+                    consumer,
+                    ref.cell,
+                    rx + weights.get(f"rx:{ref.cell}.{ref.port}:{consumer}", 0.0),
+                )
+        if is_result:
+            net.add_edge(dnode, BACK, INFINITY)
+
+    return STGraph(
+        network=net,
+        topology=topology,
+        compute_energy=compute_energy,
+        tx_energy=tx_energy,
+        rx_energy=rx_energy,
+    )

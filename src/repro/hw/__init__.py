@@ -1,0 +1,55 @@
+"""Hardware energy/delay substrate.
+
+Models everything the paper characterises with EDA tools and published
+transceiver designs (Section 4.2/4.3):
+
+- :mod:`repro.hw.technology` -- TSMC 130/90/45 nm process points and the
+  dynamic-energy scaling between them.
+- :mod:`repro.hw.energy` -- per-operation energy tables, ALU working modes
+  (serial / parallel / pipeline) and per-module characterisation (Figure 4).
+- :mod:`repro.hw.wireless` -- the three implant transceiver models and the
+  common packet protocol (8-bit header per payload).
+- :mod:`repro.hw.battery` -- Polymer Li-Ion runtime model.
+- :mod:`repro.hw.aggregator` -- ARM Cortex-A8-class CPU energy/latency model
+  for the in-aggregator software cells.
+"""
+
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.area import AreaReport, area_report, cell_gate_equivalents
+from repro.hw.battery import BatteryModel, SENSOR_BATTERY, AGGREGATOR_BATTERY
+from repro.hw.energy import (
+    ALUMode,
+    EnergyLibrary,
+    ModeCharacterization,
+    OperationEnergyTable,
+)
+from repro.hw.technology import PROCESS_NODES, ProcessTechnology
+from repro.hw.memory import MemoryReport, cell_buffer_bytes, memory_report
+from repro.hw.power_gating import DEFAULT_POWER_GATING, PowerGatingModel, gating_overhead_report
+from repro.hw.wireless import BLE_MODEL, WIRELESS_MODELS, TransceiverModel, WirelessLink
+
+__all__ = [
+    "AGGREGATOR_BATTERY",
+    "AreaReport",
+    "BLE_MODEL",
+    "DEFAULT_POWER_GATING",
+    "PowerGatingModel",
+    "area_report",
+    "cell_gate_equivalents",
+    "gating_overhead_report",
+    "MemoryReport",
+    "cell_buffer_bytes",
+    "memory_report",
+    "ALUMode",
+    "AggregatorCPU",
+    "BatteryModel",
+    "EnergyLibrary",
+    "ModeCharacterization",
+    "OperationEnergyTable",
+    "PROCESS_NODES",
+    "ProcessTechnology",
+    "SENSOR_BATTERY",
+    "TransceiverModel",
+    "WIRELESS_MODELS",
+    "WirelessLink",
+]

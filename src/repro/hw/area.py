@@ -1,0 +1,125 @@
+"""Silicon area model for the in-sensor analytic part.
+
+The paper synthesises the functional cells with Design Compiler and reports
+energy; area is the other axis every ASIC flow reports, and it constrains
+how many cells a wearable die can host.  We model it the standard way an
+early-phase estimate does:
+
+- every primitive unit has a gate-equivalent (GE, 2-input-NAND) count from
+  textbook datapath figures (32-bit ripple adder ~ 300 GE, array
+  multiplier ~ 3000 GE, iterative divider/sqrt ~ 4000 GE, comparator
+  ~ 100 GE);
+- a cell's S-ALU instantiates one unit per op *type* it uses in SERIAL
+  mode, ``width`` copies of each in PARALLEL mode, and one unit plus
+  ``k``-stage registers in PIPELINE mode;
+- buffers contribute 8 GE/bit for the output ports (Fig. 3's cell-private
+  buffer);
+- GE area per node comes from the standard-cell density of each process
+  (um^2 per gate: ~5.0 at 130 nm, ~2.4 at 90 nm, ~0.8 at 45 nm).
+
+Absolute mm^2 values are estimates; the relative comparisons (cell vs
+cell, node vs node, and the "does the in-sensor part fit a sensor die"
+sanity check) are what the tests and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.energy import ALUMode
+
+if TYPE_CHECKING:  # deferred: repro.cells depends on repro.hw, not vice versa
+    from repro.cells.cell import FunctionalCell
+    from repro.cells.topology import CellTopology
+
+#: Gate-equivalent count of one 32-bit unit per op type.
+UNIT_GATE_EQUIVALENTS: Mapping[str, int] = {
+    "add": 300,
+    "sub": 300,
+    "mul": 3000,
+    "div": 4000,
+    "cmp": 100,
+    "super": 4500,
+}
+
+#: Pipeline stage register cost (32-bit register + muxing), GE per stage.
+PIPELINE_STAGE_GE = 250
+
+#: Output-buffer cost, GE per bit of buffered data.
+BUFFER_GE_PER_BIT = 8
+
+#: Control/clock overhead per cell (enable logic, async clock, handshake).
+CELL_CONTROL_GE = 400
+
+#: Standard-cell density: um^2 of silicon per gate equivalent.
+UM2_PER_GE = {"130nm": 5.0, "90nm": 2.4, "45nm": 0.8}
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area accounting for a set of cells.
+
+    Attributes:
+        gate_equivalents: Total GE of the accounted cells.
+        area_mm2: Silicon area at the chosen node.
+        per_cell_ge: GE per cell name.
+    """
+
+    gate_equivalents: int
+    area_mm2: float
+    per_cell_ge: Mapping[str, int]
+
+
+def cell_gate_equivalents(cell: "FunctionalCell") -> int:
+    """Gate-equivalent estimate of one functional cell."""
+    ge = CELL_CONTROL_GE
+    op_types = [op for op, count in cell.op_counts.items() if count > 0]
+    for op in op_types:
+        if op not in UNIT_GATE_EQUIVALENTS:
+            raise ConfigurationError(f"no area model for op {op!r}")
+        unit = UNIT_GATE_EQUIVALENTS[op]
+        if cell.mode is ALUMode.PARALLEL:
+            ge += unit * (cell.parallel_width or 1)
+        else:
+            ge += unit
+    if cell.mode is ALUMode.PIPELINE:
+        ge += PIPELINE_STAGE_GE * 4  # default 4-stage pipeline
+    for port in cell.outputs:
+        ge += BUFFER_GE_PER_BIT * port.bits
+    return ge
+
+
+def area_report(
+    topology: "CellTopology",
+    node: str = "90nm",
+    in_sensor: Optional[FrozenSet[str]] = None,
+) -> AreaReport:
+    """Area of (the in-sensor subset of) a topology at a process node.
+
+    Args:
+        topology: The cell dataflow graph.
+        node: Process node name (must be one of :data:`UM2_PER_GE`).
+        in_sensor: If given, only these cells are accounted (the in-sensor
+            analytic part is what occupies sensor silicon; the aggregator
+            side is software).
+    """
+    if node not in UM2_PER_GE:
+        raise ConfigurationError(
+            f"no density for node {node!r}; available: {sorted(UM2_PER_GE)}"
+        )
+    names = set(topology.cells) if in_sensor is None else set(in_sensor)
+    unknown = names - set(topology.cells)
+    if unknown:
+        raise ConfigurationError(f"unknown cells: {sorted(unknown)}")
+    per_cell: Dict[str, int] = {
+        name: cell_gate_equivalents(topology.cell(name)) for name in sorted(names)
+    }
+    total = sum(per_cell.values())
+    area_um2 = total * UM2_PER_GE[node]
+    return AreaReport(
+        gate_equivalents=total,
+        area_mm2=area_um2 / 1e6,
+        per_cell_ge=per_cell,
+    )

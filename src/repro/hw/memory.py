@@ -1,0 +1,95 @@
+"""On-sensor buffer/SRAM sizing for the in-sensor analytic part.
+
+Every functional cell owns a private buffer (Fig. 3) holding its inputs
+while it computes and its outputs until consumers take them.  The sensor
+die must provision SRAM for all of that plus the acquisition buffer for
+the raw segment.  This model sizes it:
+
+- **acquisition buffer**: one raw segment at the ADC width (double-
+  buffered, so acquisition of segment *k+1* overlaps analysis of *k*);
+- **per-cell output buffers**: each output port's payload, at the
+  datapath width (32-bit Q16.16 words internally, regardless of the
+  narrower on-air encoding);
+- **working registers**: a small fixed overhead per cell (accumulators,
+  state).
+
+As with the area model, absolute bytes are estimates; the useful outputs
+are comparisons (which cut needs how much sensor SRAM) and the sanity
+check against realistic wearable SRAM budgets (tens of KiB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # repro.cells depends on repro.hw, not vice versa
+    from repro.cells.topology import CellTopology
+
+#: Datapath word width in bytes (32-bit Q16.16).
+WORD_BYTES = 4
+
+#: Fixed working-register overhead per cell, bytes.
+CELL_STATE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """SRAM accounting for the in-sensor part.
+
+    Attributes:
+        acquisition_bytes: Double-buffered raw segment storage.
+        cell_buffer_bytes: Sum of in-sensor cells' output buffers + state.
+        total_bytes: Everything the sensor die must provision.
+        per_cell_bytes: Buffer bytes per in-sensor cell.
+    """
+
+    acquisition_bytes: int
+    cell_buffer_bytes: int
+    per_cell_bytes: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total provisioned SRAM."""
+        return self.acquisition_bytes + self.cell_buffer_bytes
+
+    @property
+    def total_kib(self) -> float:
+        """Total in KiB."""
+        return self.total_bytes / 1024.0
+
+
+def cell_buffer_bytes(cell) -> int:
+    """Buffer bytes of one functional cell (outputs + working state)."""
+    total = CELL_STATE_BYTES
+    for port in cell.outputs:
+        total += port.n_values * WORD_BYTES
+    return total
+
+
+def memory_report(
+    topology: "CellTopology",
+    in_sensor: Optional[FrozenSet[str]] = None,
+) -> MemoryReport:
+    """SRAM requirement of (the in-sensor subset of) a topology.
+
+    Args:
+        topology: The cell dataflow graph.
+        in_sensor: Cells on the sensor; default is the whole topology
+            (the in-sensor engine).
+    """
+    names = set(topology.cells) if in_sensor is None else set(in_sensor)
+    unknown = names - set(topology.cells)
+    if unknown:
+        raise ConfigurationError(f"unknown cells: {sorted(unknown)}")
+    per_cell = {
+        name: cell_buffer_bytes(topology.cell(name)) for name in sorted(names)
+    }
+    acquisition = 2 * topology.segment_length * WORD_BYTES  # double buffer
+    return MemoryReport(
+        acquisition_bytes=acquisition,
+        cell_buffer_bytes=sum(per_cell.values()),
+        per_cell_bytes=per_cell,
+    )

@@ -1,0 +1,71 @@
+"""Process technology points: TSMC 130 / 90 / 45 nm.
+
+The paper synthesises functional cells against TSMC 130, 90 and 45 nm
+standard-cell libraries at a 16 MHz clock (Section 4.3).  Without the EDA
+flow we model each node as a scaling of a 90 nm reference point:
+
+- **dynamic energy** scales with ``C V^2``; across these planar nodes each
+  full-node step is roughly a 2.2x energy change (capacitance shrink plus
+  supply drop from ~1.2 V at 130 nm to ~0.9 V at 45 nm), consistent with
+  published adder/multiplier energy surveys;
+- **leakage power** grows as features shrink; normalised leakage per gate is
+  higher at 45 nm, which is why the static term in the ALU-mode model does
+  not vanish with scaling.
+
+Only *relative* energies across nodes matter for the paper's figures (all
+lifetime plots are normalised), so this two-parameter scaling preserves every
+trend in Figures 8/9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessTechnology:
+    """One CMOS process point.
+
+    Attributes:
+        name: Display name, e.g. ``"90nm"``.
+        feature_nm: Drawn feature size in nanometres.
+        dynamic_scale: Dynamic-energy multiplier relative to the 90 nm
+            reference (130 nm > 1, 45 nm < 1).
+        leakage_scale: Relative leakage density (informational: at the
+            16 MHz duty-cycled operating point the energy model is
+            dynamic-dominated, so leakage enters the figures only through
+            the per-cycle clock/control term; the attribute documents the
+            node's physical trend for area/standby extensions).
+        supply_v: Nominal supply voltage (informational).
+    """
+
+    name: str
+    feature_nm: int
+    dynamic_scale: float
+    leakage_scale: float
+    supply_v: float
+
+    def __post_init__(self) -> None:
+        if self.dynamic_scale <= 0 or self.leakage_scale <= 0:
+            raise ConfigurationError("scaling factors must be positive")
+
+
+#: The three evaluated nodes, keyed by name.  90 nm is the reference and the
+#: paper's default setup (Section 5.2).
+PROCESS_NODES: Dict[str, ProcessTechnology] = {
+    "130nm": ProcessTechnology("130nm", 130, dynamic_scale=2.2, leakage_scale=0.6, supply_v=1.2),
+    "90nm": ProcessTechnology("90nm", 90, dynamic_scale=1.0, leakage_scale=1.0, supply_v=1.0),
+    "45nm": ProcessTechnology("45nm", 45, dynamic_scale=1.0 / 2.2, leakage_scale=1.8, supply_v=0.9),
+}
+
+
+def get_node(name: str) -> ProcessTechnology:
+    """Look up a process node by name (e.g. ``"90nm"``)."""
+    if name not in PROCESS_NODES:
+        raise ConfigurationError(
+            f"unknown process node {name!r}; available: {sorted(PROCESS_NODES)}"
+        )
+    return PROCESS_NODES[name]

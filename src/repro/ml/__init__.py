@@ -1,0 +1,49 @@
+"""Machine-learning substrate: the generic classification back half.
+
+The paper's classifier (Sections 2.1, 4.4) is a **random subspace ensemble
+of binary SVMs**: each base SVM is trained on 12 features drawn at random
+from the complete statistical feature set, 100 draws are made, the top 10%
+by accuracy are kept, and their decisions are combined by a weighted-voting
+score fusion whose weights are fit by least squares.
+
+Everything is implemented from scratch on numpy:
+
+- :mod:`repro.ml.kernels` -- linear and RBF kernel functions.
+- :mod:`repro.ml.svm` -- an SMO-trained binary SVM.
+- :mod:`repro.ml.subspace` -- the random-subspace ensemble protocol.
+- :mod:`repro.ml.fusion` -- least-squares weighted-voting score fusion.
+- :mod:`repro.ml.validation` -- 75/25 splits, k-fold CV, repeated training.
+- :mod:`repro.ml.metrics` -- accuracy and confusion statistics.
+"""
+
+from repro.ml.baselines import AdaBoostSVMClassifier, BaggingSVMClassifier
+from repro.ml.calibration import PlattScaler, brier_score
+from repro.ml.fusion import WeightedVotingFusion
+from repro.ml.kernels import Kernel, LinearKernel, RBFKernel
+from repro.ml.metrics import accuracy, confusion_matrix
+from repro.ml.multiclass import OneVsRestSubspaceClassifier
+from repro.ml.subspace import RandomSubspaceClassifier, SubspaceMember
+from repro.ml.svm import SVMClassifier
+from repro.ml.tuning import TuningResult, grid_search
+from repro.ml.validation import kfold_indices, train_test_split
+
+__all__ = [
+    "AdaBoostSVMClassifier",
+    "BaggingSVMClassifier",
+    "Kernel",
+    "OneVsRestSubspaceClassifier",
+    "LinearKernel",
+    "RBFKernel",
+    "RandomSubspaceClassifier",
+    "SVMClassifier",
+    "SubspaceMember",
+    "WeightedVotingFusion",
+    "PlattScaler",
+    "TuningResult",
+    "brier_score",
+    "accuracy",
+    "grid_search",
+    "confusion_matrix",
+    "kfold_indices",
+    "train_test_split",
+]

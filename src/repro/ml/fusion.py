@@ -1,0 +1,102 @@
+"""Least-squares weighted-voting score fusion.
+
+Section 4.4: *"The random subspace takes weighted voting scheme which is
+trained by the least square method."*  Each retained base classifier emits a
+signed decision score; the fusion layer combines them linearly with weights
+``w`` (plus intercept) chosen to minimise ``||S w - y||^2`` over the training
+set, where ``S`` is the matrix of base scores and ``y`` the ±1 labels.
+
+The fused score's sign is the final classification.  In the functional-cell
+topology this is the "Score Fusion" cell: a small dot product, so it is cheap
+wherever it lands in the partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WeightedVotingFusion:
+    """Linear score fusion fit by (ridge-stabilised) least squares.
+
+    Args:
+        ridge: Small L2 regulariser added to the normal equations so the fit
+            is well-posed even when base scores are collinear (which happens
+            when two subspaces select overlapping feature sets).
+    """
+
+    def __init__(self, ridge: float = 1e-6) -> None:
+        if ridge < 0:
+            raise ConfigurationError("ridge must be non-negative")
+        self.ridge = float(ridge)
+        self._weights: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Fitted per-classifier voting weights."""
+        self._require_fitted()
+        return self._weights.copy()
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept term."""
+        self._require_fitted()
+        return self._intercept
+
+    def fit(self, base_scores: np.ndarray, labels: np.ndarray) -> "WeightedVotingFusion":
+        """Fit weights from base-classifier scores.
+
+        Args:
+            base_scores: Matrix of shape ``(n_samples, n_classifiers)``.
+            labels: Binary {0,1} labels (mapped internally to ±1 targets).
+        """
+        S = np.asarray(base_scores, dtype=np.float64)
+        y01 = np.asarray(labels)
+        if S.ndim != 2 or S.shape[0] == 0:
+            raise ConfigurationError("base_scores must be a non-empty 2-D matrix")
+        if len(S) != len(y01):
+            raise ConfigurationError("scores/labels length mismatch")
+        y = np.where(y01 == 1, 1.0, -1.0)
+        design = np.hstack([S, np.ones((len(S), 1))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ y)
+        self._weights = solution[:-1]
+        self._intercept = float(solution[-1])
+        return self
+
+    def fuse(self, base_scores: np.ndarray) -> np.ndarray:
+        """Fused real-valued scores for a (n_samples, n_classifiers) matrix."""
+        self._require_fitted()
+        S = np.atleast_2d(np.asarray(base_scores, dtype=np.float64))
+        if S.shape[1] != len(self._weights):
+            raise ConfigurationError(
+                f"got {S.shape[1]} base scores, fitted for {len(self._weights)}"
+            )
+        fused = S @ self._weights + self._intercept
+        return fused if np.asarray(base_scores).ndim == 2 else fused[0]
+
+    def predict(self, base_scores: np.ndarray) -> np.ndarray:
+        """Binary {0,1} decision from fused scores."""
+        fused = np.atleast_1d(self.fuse(base_scores))
+        out = (fused > 0).astype(int)
+        return out if np.asarray(base_scores).ndim == 2 else int(out[0])
+
+    def operation_counts(self) -> Dict[str, int]:
+        """S-ALU operations for one fusion evaluation (a k-term dot product)."""
+        self._require_fitted()
+        k = len(self._weights)
+        return {"mul": k, "add": k, "cmp": 1}
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("fusion used before fit()")

@@ -1,0 +1,99 @@
+"""Kernel functions for the SVM base classifiers.
+
+The paper uses an RBF-kernel binary SVM as the random-subspace base
+classifier (Section 4.4) and cites linear-kernel SVM as the limit of what a
+pure in-sensor design affords (Section 1).  Both kernels are provided, with
+an operation-count model so the SVM functional cell's energy cost can be
+derived from its support-vector count and input dimensionality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Kernel(ABC):
+    """A positive-definite kernel ``k(x, z)`` with a hardware cost model."""
+
+    @abstractmethod
+    def __call__(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Gram matrix between row-sample matrices ``lhs`` and ``rhs``.
+
+        Both arguments may also be single vectors; the result broadcasts to
+        ``(len(lhs), len(rhs))`` for matrices and a scalar for two vectors.
+        """
+
+    @abstractmethod
+    def operation_counts(self, dimension: int) -> Dict[str, int]:
+        """S-ALU operations for one kernel evaluation on d-dim inputs."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short kernel name for reports ("linear", "rbf")."""
+
+
+class LinearKernel(Kernel):
+    """The inner-product kernel ``k(x, z) = x . z``."""
+
+    @property
+    def name(self) -> str:
+        return "linear"
+
+    def __call__(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        lhs_m = np.atleast_2d(np.asarray(lhs, dtype=np.float64))
+        rhs_m = np.atleast_2d(np.asarray(rhs, dtype=np.float64))
+        gram = lhs_m @ rhs_m.T
+        if np.asarray(lhs).ndim == 1 and np.asarray(rhs).ndim == 1:
+            return gram[0, 0]
+        return gram
+
+    def operation_counts(self, dimension: int) -> Dict[str, int]:
+        if dimension <= 0:
+            raise ConfigurationError("dimension must be positive")
+        return {"mul": dimension, "add": dimension - 1}
+
+
+class RBFKernel(Kernel):
+    """Gaussian kernel ``k(x, z) = exp(-gamma * ||x - z||^2)``.
+
+    Args:
+        gamma: Width parameter; must be positive.
+    """
+
+    def __init__(self, gamma: float = 0.5) -> None:
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    @property
+    def name(self) -> str:
+        return "rbf"
+
+    def __call__(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        lhs_m = np.atleast_2d(np.asarray(lhs, dtype=np.float64))
+        rhs_m = np.atleast_2d(np.asarray(rhs, dtype=np.float64))
+        if lhs_m.shape[1] != rhs_m.shape[1]:
+            raise ConfigurationError(
+                f"dimension mismatch: {lhs_m.shape[1]} vs {rhs_m.shape[1]}"
+            )
+        sq = (
+            (lhs_m**2).sum(axis=1)[:, None]
+            + (rhs_m**2).sum(axis=1)[None, :]
+            - 2.0 * lhs_m @ rhs_m.T
+        )
+        gram = np.exp(-self.gamma * np.maximum(sq, 0.0))
+        if np.asarray(lhs).ndim == 1 and np.asarray(rhs).ndim == 1:
+            return gram[0, 0]
+        return gram
+
+    def operation_counts(self, dimension: int) -> Dict[str, int]:
+        if dimension <= 0:
+            raise ConfigurationError("dimension must be positive")
+        # d subtractions, d squarings, d-1 adds, one gamma multiply, one exp.
+        return {"sub": dimension, "mul": dimension + 1, "add": dimension - 1, "super": 1}

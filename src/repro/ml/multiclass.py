@@ -1,0 +1,122 @@
+"""Multi-class extension of the generic classification (paper §5.7).
+
+*"If multi-classification is needed, we can simply add more base
+classifiers that extend only the topology of generic classification.  The
+rest of the proposed methodology can be applied directly."*
+
+Realised as one-vs-rest: one random-subspace ensemble per class, each
+scoring "this class vs everything else"; the final decision is the argmax
+of the fused per-class scores.  The functional-cell topology grows by the
+extra members and per-class fusion cells plus a single argmax cell — and
+the partitioning machinery is applied unchanged, exactly as the paper
+claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.ml.subspace import RandomSubspaceClassifier
+
+
+class OneVsRestSubspaceClassifier:
+    """One-vs-rest stack of random-subspace ensembles.
+
+    Args:
+        n_features: Full feature-vector dimensionality.
+        n_classes: Number of classes (>= 2; 2 degenerates to a pair of
+            mirrored binary ensembles and is allowed for testing).
+        subspace_dim, n_draws, keep_fraction, kernel_factory, C, seed:
+            Forwarded to every per-class
+            :class:`~repro.ml.subspace.RandomSubspaceClassifier`.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        subspace_dim: int = 12,
+        n_draws: int = 100,
+        keep_fraction: float = 0.10,
+        kernel_factory: Optional[Callable] = None,
+        C: float = 1.0,
+        seed: int = 42,
+    ) -> None:
+        if n_classes < 2:
+            raise ConfigurationError("n_classes must be >= 2")
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self.per_class: List[RandomSubspaceClassifier] = [
+            RandomSubspaceClassifier(
+                n_features=n_features,
+                subspace_dim=subspace_dim,
+                n_draws=n_draws,
+                keep_fraction=keep_fraction,
+                kernel_factory=kernel_factory,
+                C=C,
+                seed=seed + 7919 * k,
+            )
+            for k in range(n_classes)
+        ]
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "OneVsRestSubspaceClassifier":
+        """Train one binary ensemble per class on class-vs-rest labels."""
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels)
+        present = set(np.unique(y).tolist())
+        if not present <= set(range(self.n_classes)):
+            raise ConfigurationError(
+                f"labels must be in [0, {self.n_classes}), got {sorted(present)}"
+            )
+        if len(present) < 2:
+            raise TrainingError("training data contains a single class")
+        for k, ensemble in enumerate(self.per_class):
+            binary = (y == k).astype(int)
+            if binary.sum() == 0 or binary.sum() == len(binary):
+                raise TrainingError(f"class {k} absent from the training data")
+            ensemble.fit(X, binary)
+        return self
+
+    # -- inference -------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether every per-class ensemble has been fitted."""
+        return all(e.is_fitted for e in self.per_class)
+
+    def class_scores(self, features: np.ndarray) -> np.ndarray:
+        """Per-class fused scores, shape ``(n_samples, n_classes)``."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.column_stack(
+            [np.atleast_1d(e.decision_function(X)) for e in self.per_class]
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Argmax class decisions."""
+        scores = self.class_scores(features)
+        out = scores.argmax(axis=1)
+        return out if np.asarray(features).ndim == 2 else int(out[0])
+
+    def used_feature_indices(self) -> Tuple[int, ...]:
+        """Union of features any per-class member consumes."""
+        self._require_fitted()
+        used = sorted(
+            {i for e in self.per_class for i in e.used_feature_indices()}
+        )
+        return tuple(used)
+
+    @property
+    def total_members(self) -> int:
+        """Total SVM member count across all per-class ensembles."""
+        self._require_fitted()
+        return sum(len(e.members) for e in self.per_class)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("classifier used before fit()")

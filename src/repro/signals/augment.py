@@ -1,0 +1,134 @@
+"""Data augmentation for biosignal training sets.
+
+Wearable training data is scarce and jittery; classical signal
+augmentations make the trained classifiers robust to exactly the
+distortions deployment brings (electrode drift, timing skew, gain error).
+All transforms preserve the segment length and the label, take an explicit
+rng, and are composable via :class:`Augmenter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def time_shift(max_fraction: float = 0.1) -> Transform:
+    """Circularly shift the segment by up to ±``max_fraction`` of its length.
+
+    Models trigger-timing skew in the acquisition windowing.
+    """
+    if not 0.0 < max_fraction <= 0.5:
+        raise ConfigurationError("max_fraction must be in (0, 0.5]")
+
+    def apply(segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        limit = max(1, int(len(segment) * max_fraction))
+        shift = int(rng.integers(-limit, limit + 1))
+        return np.roll(segment, shift)
+
+    return apply
+
+
+def amplitude_scale(max_gain_error: float = 0.15) -> Transform:
+    """Scale by a random gain in ``[1-e, 1+e]`` (AFE gain tolerance)."""
+    if not 0.0 < max_gain_error < 1.0:
+        raise ConfigurationError("max_gain_error must be in (0, 1)")
+
+    def apply(segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return segment * rng.uniform(1.0 - max_gain_error, 1.0 + max_gain_error)
+
+    return apply
+
+
+def baseline_shift(max_offset: float = 0.1) -> Transform:
+    """Add a random DC offset (electrode half-cell drift)."""
+    if max_offset <= 0:
+        raise ConfigurationError("max_offset must be positive")
+
+    def apply(segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return segment + rng.uniform(-max_offset, max_offset)
+
+    return apply
+
+
+def additive_noise(sigma: float = 0.05) -> Transform:
+    """Add white Gaussian measurement noise."""
+    if sigma <= 0:
+        raise ConfigurationError("sigma must be positive")
+
+    def apply(segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return segment + rng.normal(0.0, sigma, size=len(segment))
+
+    return apply
+
+
+def time_mask(max_fraction: float = 0.1) -> Transform:
+    """Zero a random contiguous span (transient electrode dropout)."""
+    if not 0.0 < max_fraction <= 0.5:
+        raise ConfigurationError("max_fraction must be in (0, 0.5]")
+
+    def apply(segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = segment.copy()
+        span = max(1, int(len(segment) * max_fraction * rng.random()))
+        start = int(rng.integers(0, len(segment) - span + 1))
+        out[start : start + span] = 0.0
+        return out
+
+    return apply
+
+
+class Augmenter:
+    """Composes transforms and expands labelled batches.
+
+    Args:
+        transforms: Applied in order to every augmented copy.
+        copies: Augmented copies generated per original segment.
+        seed: Generator seed.
+
+    >>> aug = Augmenter([amplitude_scale(0.1)], copies=2, seed=0)
+    >>> X2, y2 = aug.expand(X, y)   # len(X2) == 3 * len(X)
+    """
+
+    def __init__(
+        self,
+        transforms: Sequence[Transform],
+        copies: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not transforms:
+            raise ConfigurationError("need at least one transform")
+        if copies < 1:
+            raise ConfigurationError("copies must be >= 1")
+        self.transforms = list(transforms)
+        self.copies = int(copies)
+        self.seed = int(seed)
+
+    def apply(self, segment: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One augmented copy of one segment."""
+        out = np.asarray(segment, dtype=np.float64)
+        for transform in self.transforms:
+            out = transform(out, rng)
+        if out.shape != np.asarray(segment).shape:
+            raise ConfigurationError("transform changed the segment shape")
+        return out
+
+    def expand(
+        self, segments: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Originals plus ``copies`` augmented variants of each segment."""
+        X = np.asarray(segments, dtype=np.float64)
+        y = np.asarray(labels)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ConfigurationError("need a 2-D batch with matching labels")
+        rng = np.random.default_rng(self.seed)
+        out_x: List[np.ndarray] = [X]
+        out_y: List[np.ndarray] = [y]
+        for _ in range(self.copies):
+            out_x.append(np.stack([self.apply(row, rng) for row in X]))
+            out_y.append(y.copy())
+        return np.concatenate(out_x), np.concatenate(out_y)

@@ -1,0 +1,176 @@
+"""Signal-quality assessment and acquisition gating.
+
+Deployed wearables do not classify every window: motion artifacts,
+electrode pops and saturated amplifiers produce garbage segments that cost
+full analysis energy and yield meaningless decisions.  A signal-quality
+index (SQI) stage — a handful of cheap checks *before* the analytic
+engine — rejects them at a tiny fraction of the cost.
+
+:class:`SignalQualityIndex` computes four standard checks:
+
+- **saturation**: fraction of samples pinned at the ADC rails;
+- **flatline**: fraction of consecutive samples with (near-)zero delta
+  (a disconnected electrode reads constant);
+- **impulse artifacts**: extreme-sample fraction beyond ``k`` robust
+  standard deviations (motion spikes);
+- **dynamic range**: peak-to-peak span collapsing toward zero.
+
+:class:`QualityGate` wraps the index into the accept/reject decision and
+accounts for the energy saved by not running rejected windows through the
+analytic engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Outcome of assessing one segment.
+
+    Attributes:
+        score: Overall quality in [0, 1] (1 = clean).
+        saturation_fraction: Share of samples at the rails.
+        flatline_fraction: Share of near-zero sample-to-sample deltas.
+        impulse_fraction: Share of extreme outlier samples.
+        dynamic_range: Peak-to-peak amplitude.
+        flags: Human-readable names of the failed checks.
+    """
+
+    score: float
+    saturation_fraction: float
+    flatline_fraction: float
+    impulse_fraction: float
+    dynamic_range: float
+    flags: tuple
+
+    @property
+    def acceptable(self) -> bool:
+        """Whether no check failed."""
+        return not self.flags
+
+
+class SignalQualityIndex:
+    """Configurable segment-quality assessor.
+
+    Args:
+        rail: ADC full-scale magnitude; samples with ``|x| >= rail`` count
+            as saturated.
+        flatline_epsilon: Delta magnitude below which consecutive samples
+            count as flat.
+        impulse_sigmas: Robust-z threshold for impulse artifacts.  The
+            defaults leave headroom for *physiologic* spikes — an ECG's
+            QRS complex is a legitimate extreme-amplitude excursion
+            spanning a few percent of the segment — while catching
+            artifact bursts that exceed that share.
+        max_saturation: Failing threshold for the saturation fraction.
+        max_flatline: Failing threshold for the flatline fraction.
+        max_impulse: Failing threshold for the impulse fraction.
+        min_dynamic_range: Failing threshold for peak-to-peak span.
+    """
+
+    def __init__(
+        self,
+        rail: float = 32.0,
+        flatline_epsilon: float = 1e-6,
+        impulse_sigmas: float = 8.0,
+        max_saturation: float = 0.01,
+        max_flatline: float = 0.2,
+        max_impulse: float = 0.06,
+        min_dynamic_range: float = 1e-3,
+    ) -> None:
+        if rail <= 0 or impulse_sigmas <= 0:
+            raise ConfigurationError("rail and impulse_sigmas must be positive")
+        self.rail = float(rail)
+        self.flatline_epsilon = float(flatline_epsilon)
+        self.impulse_sigmas = float(impulse_sigmas)
+        self.max_saturation = float(max_saturation)
+        self.max_flatline = float(max_flatline)
+        self.max_impulse = float(max_impulse)
+        self.min_dynamic_range = float(min_dynamic_range)
+
+    def assess(self, segment: Sequence[float]) -> QualityReport:
+        """Assess one segment; never raises on bad data (that is its job)."""
+        arr = np.asarray(segment, dtype=np.float64)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ConfigurationError("segment must be 1-D with >= 2 samples")
+
+        saturation = float(np.mean(np.abs(arr) >= self.rail))
+        deltas = np.abs(np.diff(arr))
+        flatline = float(np.mean(deltas <= self.flatline_epsilon))
+        median = float(np.median(arr))
+        mad = float(np.median(np.abs(arr - median)))
+        robust_sigma = 1.4826 * mad if mad > 0 else float(arr.std()) or 1.0
+        impulse = float(
+            np.mean(np.abs(arr - median) > self.impulse_sigmas * robust_sigma)
+        )
+        dynamic_range = float(arr.max() - arr.min())
+
+        flags: List[str] = []
+        if saturation > self.max_saturation:
+            flags.append("saturation")
+        if flatline > self.max_flatline:
+            flags.append("flatline")
+        if impulse > self.max_impulse:
+            flags.append("impulse")
+        if dynamic_range < self.min_dynamic_range:
+            flags.append("dynamic_range")
+
+        # Score: product of per-check headrooms, clipped to [0, 1].
+        parts = [
+            1.0 - min(saturation / max(self.max_saturation, 1e-12), 1.0),
+            1.0 - min(flatline / max(self.max_flatline, 1e-12), 1.0),
+            1.0 - min(impulse / max(self.max_impulse, 1e-12), 1.0),
+            min(dynamic_range / max(self.min_dynamic_range, 1e-12), 1.0),
+        ]
+        score = float(np.prod(parts))
+        return QualityReport(
+            score=score,
+            saturation_fraction=saturation,
+            flatline_fraction=flatline,
+            impulse_fraction=impulse,
+            dynamic_range=dynamic_range,
+            flags=tuple(flags),
+        )
+
+
+@dataclass
+class QualityGate:
+    """Accept/reject gate in front of the analytic engine.
+
+    Attributes:
+        sqi: The quality assessor.
+        check_energy_j: Energy of running the SQI checks themselves (a few
+            hundred adds/compares — orders below the analytic engine).
+    """
+
+    sqi: SignalQualityIndex
+    check_energy_j: float = 5e-9
+
+    def __post_init__(self) -> None:
+        if self.check_energy_j < 0:
+            raise ConfigurationError("check_energy_j must be >= 0")
+
+    def accept(self, segment: Sequence[float]) -> bool:
+        """Whether the segment should proceed to classification."""
+        return self.sqi.assess(segment).acceptable
+
+    def expected_energy_j(
+        self, engine_energy_j: float, reject_rate: float
+    ) -> float:
+        """Mean per-window energy with gating at a given reject rate.
+
+        ``E = E_check + (1 - r) * E_engine`` — every window pays the cheap
+        check, only accepted ones pay the engine.
+        """
+        if engine_energy_j < 0:
+            raise ConfigurationError("engine energy must be >= 0")
+        if not 0.0 <= reject_rate <= 1.0:
+            raise ConfigurationError("reject_rate must be in [0, 1]")
+        return self.check_energy_j + (1.0 - reject_rate) * engine_energy_j

@@ -1,0 +1,422 @@
+"""Parametric synthetic biosignal generators (ECG, EEG, EMG).
+
+Each generator produces fixed-length labelled segments for binary
+classification, standing in for the archive datasets of Table 1 (see
+DESIGN.md substitution #1).  The two classes of every generator differ by a
+clinically motivated morphology shift, so the classification task is
+separable but not trivial — mirroring the accuracy regime the paper reports
+("some basic SVM classifiers have fewer supporting vectors due to the good
+data separability of the dataset", Section 5.5).
+
+Morphology models:
+
+- **ECG** — sum-of-Gaussians PQRST complex (the classic McSharry-style
+  synthetic ECG reduced to a single beat per segment).  Class 1 perturbs the
+  ST segment and T-wave amplitude, the signature that distinguishes the two
+  ECG leads / recording days in the UCR originals.
+- **EEG** — pink background plus band-limited alpha/theta rhythms; class 1
+  adds epileptiform spike-wave events (the neural-spike dataset's "difficult"
+  discrimination).
+- **EMG** — amplitude-modulated Gaussian noise bursts whose envelope shape
+  and duty cycle differ per hand-movement class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signals import noise
+
+
+class SignalGenerator(ABC):
+    """Base class for labelled fixed-length biosignal segment generators.
+
+    Attributes:
+        segment_length: Number of samples per generated segment.
+        sample_rate: Nominal sampling rate in Hz (used for the time axis of
+            the physiological components).
+    """
+
+    def __init__(self, segment_length: int, sample_rate: float) -> None:
+        if segment_length <= 0:
+            raise ConfigurationError("segment_length must be positive")
+        if sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        self.segment_length = int(segment_length)
+        self.sample_rate = float(sample_rate)
+
+    @abstractmethod
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        """Generate one segment of the given class label (0 or 1)."""
+
+    def generate_batch(
+        self, rng: np.random.Generator, n_segments: int, class_balance: float = 0.5
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate a labelled batch.
+
+        Args:
+            rng: Random generator (owns all stochasticity).
+            n_segments: Total number of segments.
+            class_balance: Fraction of class-1 segments.
+
+        Returns:
+            ``(X, y)``: segment matrix of shape ``(n_segments,
+            segment_length)`` and an int label vector.
+        """
+        if n_segments <= 0:
+            raise ConfigurationError("n_segments must be positive")
+        if not 0.0 < class_balance < 1.0:
+            raise ConfigurationError("class_balance must be in (0, 1)")
+        n_pos = int(round(n_segments * class_balance))
+        labels = np.array([1] * n_pos + [0] * (n_segments - n_pos))
+        rng.shuffle(labels)
+        segments = np.stack([self.generate(rng, int(lbl)) for lbl in labels])
+        return segments, labels
+
+    def _check_label(self, label: int) -> int:
+        if label not in (0, 1):
+            raise ConfigurationError(f"binary label expected, got {label!r}")
+        return int(label)
+
+
+@dataclass(frozen=True)
+class _GaussianWave:
+    """One Gaussian component of the PQRST complex."""
+
+    center: float  # position as a fraction of the segment
+    width: float  # standard deviation as a fraction of the segment
+    amplitude: float
+
+    def render(self, t: np.ndarray) -> np.ndarray:
+        return self.amplitude * np.exp(-0.5 * ((t - self.center) / self.width) ** 2)
+
+
+class ECGGenerator(SignalGenerator):
+    """Single-beat synthetic ECG segments (PQRST sum of Gaussians).
+
+    Class 0 is a textbook-normal beat.  Class 1 applies an ST-elevation-like
+    morphology change: depressed T-wave, widened QRS and an ST offset, with
+    per-segment jitter on every wave parameter.
+
+    Args:
+        segment_length: Samples per segment (82 for C1, 136 for C2).
+        sample_rate: Nominal Hz; defaults to a wearable-typical 250 Hz.
+        st_shift: Magnitude of the class-1 ST morphology change.
+        noise_level: Standard deviation of measurement white noise.
+    """
+
+    _PQRST = (
+        _GaussianWave(center=0.18, width=0.030, amplitude=0.15),  # P
+        _GaussianWave(center=0.38, width=0.012, amplitude=-0.20),  # Q
+        _GaussianWave(center=0.42, width=0.016, amplitude=1.00),  # R
+        _GaussianWave(center=0.46, width=0.012, amplitude=-0.25),  # S
+        _GaussianWave(center=0.70, width=0.055, amplitude=0.30),  # T
+    )
+
+    def __init__(
+        self,
+        segment_length: int,
+        sample_rate: float = 250.0,
+        st_shift: float = 0.35,
+        noise_level: float = 0.04,
+    ) -> None:
+        super().__init__(segment_length, sample_rate)
+        self.st_shift = float(st_shift)
+        self.noise_level = float(noise_level)
+
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        label = self._check_label(label)
+        t = np.linspace(0.0, 1.0, self.segment_length, endpoint=False)
+        beat = np.zeros_like(t)
+        for wave in self._PQRST:
+            center = wave.center + rng.normal(0, 0.008)
+            width = wave.width * rng.uniform(0.9, 1.1)
+            amplitude = wave.amplitude * rng.uniform(0.92, 1.08)
+            if label == 1:
+                if wave is self._PQRST[4]:  # T wave depression
+                    amplitude *= 1.0 - self.st_shift
+                if wave in (self._PQRST[1], self._PQRST[3]):  # wider Q/S
+                    width *= 1.0 + self.st_shift
+            beat += _GaussianWave(center, width, amplitude).render(t)
+        if label == 1:
+            # ST-segment offset between S (0.46) and T (0.70).
+            st_mask = (t > 0.50) & (t < 0.64)
+            beat += self.st_shift * 0.3 * st_mask
+        beat += noise.baseline_wander(
+            rng, self.segment_length, self.sample_rate, amplitude=0.05
+        )
+        beat += noise.powerline_hum(
+            rng, self.segment_length, self.sample_rate, amplitude=0.01
+        )
+        beat += noise.white_noise(rng, self.segment_length, self.noise_level)
+        return beat
+
+
+class EEGGenerator(SignalGenerator):
+    """Synthetic EEG segments: pink background + rhythms (+ spikes in class 1).
+
+    Class 0 carries alpha-band (8-12 Hz) rhythm on pink background; class 1
+    shifts power toward theta (4-7 Hz) and superimposes epileptiform
+    spike-and-wave transients.  ``difficulty`` scales how subtle the class-1
+    changes are — EEGDifficult01 and EEGDifficult02 use different values.
+
+    Args:
+        segment_length: Samples per segment (128 in the paper).
+        sample_rate: Nominal Hz; EEG-typical 256 Hz.
+        difficulty: In (0, 1]; larger means more subtle class differences.
+    """
+
+    def __init__(
+        self,
+        segment_length: int,
+        sample_rate: float = 256.0,
+        difficulty: float = 0.5,
+    ) -> None:
+        super().__init__(segment_length, sample_rate)
+        if not 0.0 < difficulty <= 1.0:
+            raise ConfigurationError("difficulty must be in (0, 1]")
+        self.difficulty = float(difficulty)
+
+    def _rhythm(
+        self, rng: np.random.Generator, band: Tuple[float, float], amplitude: float
+    ) -> np.ndarray:
+        t = np.arange(self.segment_length) / self.sample_rate
+        freq = rng.uniform(*band)
+        phase = rng.uniform(0, 2 * np.pi)
+        envelope = 1.0 + 0.3 * np.sin(2 * np.pi * rng.uniform(0.5, 1.5) * t)
+        return amplitude * envelope * np.sin(2 * np.pi * freq * t + phase)
+
+    def _spike_wave(self, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(self.segment_length)
+        n_events = rng.integers(1, 3)
+        for _ in range(n_events):
+            pos = rng.integers(10, self.segment_length - 10)
+            width = rng.integers(2, 5)
+            idx = np.arange(self.segment_length)
+            spike = np.exp(-0.5 * ((idx - pos) / width) ** 2)
+            slow = -0.5 * np.exp(-0.5 * ((idx - pos - 4 * width) / (3 * width)) ** 2)
+            out += rng.uniform(1.5, 2.5) * (spike + slow)
+        return out
+
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        label = self._check_label(label)
+        subtlety = self.difficulty
+        signal = noise.pink_noise(rng, self.segment_length, amplitude=0.6)
+        if label == 0:
+            signal += self._rhythm(rng, (8.0, 12.0), amplitude=0.8)
+            signal += self._rhythm(rng, (4.0, 7.0), amplitude=0.2)
+        else:
+            signal += self._rhythm(rng, (8.0, 12.0), amplitude=0.8 * subtlety)
+            signal += self._rhythm(rng, (4.0, 7.0), amplitude=0.2 + 0.6 * (1 - subtlety / 2))
+            signal += (1.2 - 0.7 * subtlety) * self._spike_wave(rng)
+        signal += noise.white_noise(rng, self.segment_length, 0.1)
+        return signal
+
+
+class EMGGenerator(SignalGenerator):
+    """Synthetic surface-EMG segments: amplitude-modulated noise bursts.
+
+    Surface EMG is well modelled as Gaussian noise whose envelope follows
+    muscle activation.  The two classes differ by envelope shape (ramped
+    sustained grip vs short double burst) and burst intensity, mimicking the
+    lateral/spherical vs tip/hook movement pairs of the UCI hand-movement
+    dataset.
+
+    Args:
+        segment_length: Samples per segment (132 in the paper).
+        sample_rate: Nominal Hz; EMG-typical 500 Hz.
+        burst_contrast: How strongly the class-1 envelope differs.
+    """
+
+    def __init__(
+        self,
+        segment_length: int,
+        sample_rate: float = 500.0,
+        burst_contrast: float = 0.6,
+    ) -> None:
+        super().__init__(segment_length, sample_rate)
+        self.burst_contrast = float(burst_contrast)
+
+    def _envelope(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        t = np.linspace(0.0, 1.0, self.segment_length, endpoint=False)
+        if label == 0:
+            onset = rng.uniform(0.1, 0.25)
+            plateau = rng.uniform(0.55, 0.8)
+            env = np.clip((t - onset) / 0.15, 0, 1) * np.clip((plateau - t) / 0.1 + 1, 0, 1)
+        else:
+            c1 = rng.uniform(0.2, 0.3)
+            c2 = rng.uniform(0.6, 0.75)
+            width = 0.07 * (1 + self.burst_contrast)
+            env = np.exp(-0.5 * ((t - c1) / width) ** 2) + (
+                1.0 + self.burst_contrast
+            ) * np.exp(-0.5 * ((t - c2) / width) ** 2)
+        return 0.15 + env
+
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        label = self._check_label(label)
+        carrier = noise.white_noise(rng, self.segment_length, 1.0)
+        signal = self._envelope(rng, label) * carrier
+        signal += noise.powerline_hum(
+            rng, self.segment_length, self.sample_rate, amplitude=0.03
+        )
+        return signal
+
+
+class AccelerometerGenerator(SignalGenerator):
+    """Wrist-accelerometer magnitude segments for activity monitoring.
+
+    The paper scopes XPro to "other wearable computing systems alike"
+    (§1); activity recognition from a wrist IMU is the canonical non-
+    biopotential example.  The generated signal is the Euclidean magnitude
+    of a 3-axis accelerometer (gravity + motion + sensor noise):
+
+    - class 0 (**walking**): periodic gait impacts at ~2 Hz with harmonic
+      content and step-to-step variability;
+    - class 1 (**fall event**): a pre-impact free-fall dip (magnitude
+      drops toward 0 g), a sharp impact spike, then a still period — the
+      signature fall-detection systems trigger on.
+
+    Args:
+        segment_length: Samples per segment.
+        sample_rate: IMU rate; 50 Hz is typical for wearables.
+        impact_strength: Peak fall-impact acceleration in g.
+    """
+
+    def __init__(
+        self,
+        segment_length: int,
+        sample_rate: float = 50.0,
+        impact_strength: float = 3.0,
+    ) -> None:
+        super().__init__(segment_length, sample_rate)
+        if impact_strength <= 0:
+            raise ConfigurationError("impact_strength must be positive")
+        self.impact_strength = float(impact_strength)
+
+    def _walking(self, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(self.segment_length) / self.sample_rate
+        cadence = rng.uniform(1.6, 2.2)  # steps per second
+        phase = rng.uniform(0, 2 * np.pi)
+        gait = (
+            0.35 * np.sin(2 * np.pi * cadence * t + phase)
+            + 0.15 * np.sin(2 * np.pi * 2 * cadence * t + 2 * phase)
+        )
+        wobble = noise.baseline_wander(
+            rng, self.segment_length, self.sample_rate, amplitude=0.05, frequency=0.4
+        )
+        return 1.0 + gait + wobble  # magnitude rides on 1 g gravity
+
+    def _fall(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.segment_length
+        t = np.arange(n, dtype=np.float64)
+        impact_at = int(rng.uniform(0.35, 0.6) * n)
+        freefall_len = max(2, int(rng.uniform(0.08, 0.15) * n))
+        signal = np.full(n, 1.0)
+        # Pre-impact walking context.
+        signal[: impact_at - freefall_len] += 0.2 * np.sin(
+            2 * np.pi * 2.0 * t[: impact_at - freefall_len] / self.sample_rate
+        )
+        # Free fall: magnitude collapses toward 0 g.
+        signal[impact_at - freefall_len : impact_at] = rng.uniform(0.05, 0.3)
+        # Impact spike with ringing decay.
+        ring = np.exp(-0.4 * np.arange(n - impact_at))
+        signal[impact_at:] = 1.0 + self.impact_strength * ring * np.cos(
+            0.9 * np.arange(n - impact_at)
+        )
+        # Post-impact stillness toward the tail.
+        tail = int(0.85 * n)
+        signal[tail:] = 1.0 + rng.normal(0, 0.01, size=n - tail)
+        return signal
+
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        label = self._check_label(label)
+        signal = self._fall(rng) if label == 1 else self._walking(rng)
+        signal += noise.white_noise(rng, self.segment_length, 0.03)
+        return signal
+
+
+class MultiClassEMGGenerator(SignalGenerator):
+    """Multi-class surface-EMG segments: one envelope archetype per class.
+
+    Stands in for the full six-movement UCI hand-movement dataset (the
+    paper's binary M1/M2 cases are pairs drawn from it, §4.1; the §5.7
+    multi-classification extension needs all of it).  Archetypes, in class
+    order: sustained grip, double burst, ramp-up, ramp-down, tremor
+    (amplitude-modulated), short tap.
+
+    Args:
+        segment_length: Samples per segment.
+        n_classes: Number of movement classes (2-6).
+        sample_rate: Nominal Hz.
+        contrast: How distinct the archetype envelopes are (lower = harder).
+    """
+
+    _MAX_CLASSES = 6
+
+    def __init__(
+        self,
+        segment_length: int,
+        n_classes: int = 4,
+        sample_rate: float = 500.0,
+        contrast: float = 0.6,
+    ) -> None:
+        super().__init__(segment_length, sample_rate)
+        if not 2 <= n_classes <= self._MAX_CLASSES:
+            raise ConfigurationError(
+                f"n_classes must be in [2, {self._MAX_CLASSES}]"
+            )
+        self.n_classes = int(n_classes)
+        self.contrast = float(contrast)
+
+    def _archetype(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        t = np.linspace(0.0, 1.0, self.segment_length, endpoint=False)
+        c = self.contrast
+        jitter = rng.uniform(-0.05, 0.05)
+        if label == 0:  # sustained grip
+            onset = 0.15 + jitter
+            return np.clip((t - onset) / 0.1, 0, 1) * np.clip((0.85 - t) / 0.1 + 1, 0, 1)
+        if label == 1:  # double burst
+            c1, c2 = 0.25 + jitter, 0.65 + jitter
+            width = 0.06 + 0.04 * c
+            return np.exp(-0.5 * ((t - c1) / width) ** 2) + np.exp(
+                -0.5 * ((t - c2) / width) ** 2
+            )
+        if label == 2:  # ramp-up
+            return np.clip(t + jitter, 0, 1) ** (1 + c)
+        if label == 3:  # ramp-down
+            return np.clip(1 - t + jitter, 0, 1) ** (1 + c)
+        if label == 4:  # tremor: amplitude-modulated activation
+            freq = 6 + 4 * c
+            return 0.5 + 0.45 * np.sin(2 * np.pi * freq * (t + jitter))
+        # label == 5: short tap
+        center = 0.4 + jitter
+        return (1 + c) * np.exp(-0.5 * ((t - center) / 0.05) ** 2)
+
+    def generate(self, rng: np.random.Generator, label: int) -> np.ndarray:
+        if not 0 <= label < self.n_classes:
+            raise ConfigurationError(
+                f"label must be in [0, {self.n_classes}), got {label!r}"
+            )
+        carrier = noise.white_noise(rng, self.segment_length, 1.0)
+        envelope = 0.15 + self._archetype(rng, int(label))
+        signal = envelope * carrier
+        signal += noise.powerline_hum(
+            rng, self.segment_length, self.sample_rate, amplitude=0.03
+        )
+        return signal
+
+    def generate_batch(
+        self, rng: np.random.Generator, n_segments: int, class_balance: float = 0.5
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Balanced batch across all ``n_classes`` (``class_balance`` unused)."""
+        if n_segments <= 0:
+            raise ConfigurationError("n_segments must be positive")
+        labels = np.arange(n_segments) % self.n_classes
+        rng.shuffle(labels)
+        segments = np.stack([self.generate(rng, int(lbl)) for lbl in labels])
+        return segments, labels

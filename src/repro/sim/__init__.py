@@ -1,0 +1,36 @@
+"""Cross-end system simulation.
+
+- :mod:`repro.sim.evaluate` -- static per-event evaluation of a partition:
+  sensor energy (Eq. 1-3), delay breakdown, aggregator-side overhead.
+- :mod:`repro.sim.lifetime` -- battery lifetime from per-event energy and
+  the event rate (Polymer Li-Ion model).
+- :mod:`repro.sim.simulator` -- a discrete-event simulator streaming
+  segments through sensor, link and aggregator resources, used to validate
+  the static model and to detect real-time overruns.
+"""
+
+from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
+from repro.sim.discharge import DischargeTrace, simulate_discharge
+from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+from repro.sim.lifetime import battery_lifetime_hours, event_period_s
+from repro.sim.multinode import BSNNode, BSNReport, MultiNodeBSN
+from repro.sim.simulator import CrossEndSimulator, SimulationReport
+from repro.sim.timeline import render_timeline
+
+__all__ = [
+    "BSNNode",
+    "BSNReport",
+    "CrossEndSimulator",
+    "DischargeTrace",
+    "GilbertElliottChannel",
+    "GilbertElliottParams",
+    "burst_lengths",
+    "MultiNodeBSN",
+    "PartitionMetrics",
+    "SimulationReport",
+    "battery_lifetime_hours",
+    "evaluate_partition",
+    "render_timeline",
+    "simulate_discharge",
+    "event_period_s",
+]

@@ -1,0 +1,126 @@
+"""Bursty body-area channel model (Gilbert-Elliott).
+
+The lossy-link extension (:class:`repro.hw.wireless.WirelessLink` with
+``loss_rate``) assumes i.i.d. payload loss.  Real body-area channels are
+*bursty*: posture changes and passing interferers produce clustered loss.
+The classic two-state Gilbert-Elliott chain captures that:
+
+- state **G** (good): low loss probability;
+- state **B** (bad): high loss probability;
+- geometric dwell times set by the transition probabilities.
+
+The model produces per-payload outcomes for driving the adaptive
+controller and the DES, and exposes the closed-form stationary loss rate
+so a matched i.i.d. channel can be constructed for comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Parameters of the two-state chain.
+
+    Attributes:
+        p_good_to_bad: Per-payload probability of entering the bad state.
+        p_bad_to_good: Per-payload probability of recovering.
+        loss_good: Payload-loss probability in the good state.
+        loss_bad: Payload-loss probability in the bad state.
+    """
+
+    p_good_to_bad: float = 0.01
+    p_bad_to_good: float = 0.10
+    loss_good: float = 0.01
+    loss_bad: float = 0.6
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1]")
+        for name in ("loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1)")
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of time spent in the bad state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run mean payload-loss probability."""
+        bad = self.stationary_bad_fraction
+        return bad * self.loss_bad + (1.0 - bad) * self.loss_good
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected consecutive payloads spent in one bad-state visit."""
+        return 1.0 / self.p_bad_to_good
+
+
+class GilbertElliottChannel:
+    """Stateful per-payload loss source.
+
+    Args:
+        params: Chain parameters.
+        seed: Random seed; the channel owns its generator so simulations
+            are reproducible.
+    """
+
+    def __init__(
+        self,
+        params: GilbertElliottParams = GilbertElliottParams(),
+        seed: int = 0,
+    ) -> None:
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        self._bad = self._rng.random() < params.stationary_bad_fraction
+
+    @property
+    def in_bad_state(self) -> bool:
+        """Whether the chain currently sits in the bad state."""
+        return self._bad
+
+    def next_outcome(self) -> bool:
+        """Advance one payload; returns True if it was lost."""
+        p = self.params
+        if self._bad:
+            if self._rng.random() < p.p_bad_to_good:
+                self._bad = False
+        else:
+            if self._rng.random() < p.p_good_to_bad:
+                self._bad = True
+        loss_prob = p.loss_bad if self._bad else p.loss_good
+        return bool(self._rng.random() < loss_prob)
+
+    def outcomes(self, n: int) -> np.ndarray:
+        """Boolean loss outcomes for ``n`` consecutive payloads."""
+        if n <= 0:
+            raise ConfigurationError("n must be positive")
+        return np.array([self.next_outcome() for _ in range(n)])
+
+
+def burst_lengths(outcomes: np.ndarray) -> np.ndarray:
+    """Lengths of consecutive-loss runs in an outcome sequence."""
+    arr = np.asarray(outcomes, dtype=bool)
+    if arr.ndim != 1:
+        raise ConfigurationError("outcomes must be one-dimensional")
+    lengths = []
+    run = 0
+    for lost in arr:
+        if lost:
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return np.asarray(lengths, dtype=int)

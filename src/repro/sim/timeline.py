@@ -1,0 +1,69 @@
+"""Event-timeline (Gantt) rendering of simulated schedules.
+
+Turns the per-event records of :class:`~repro.sim.simulator.CrossEndSimulator`
+into a terminal Gantt chart — front-end compute, link transfer and back-end
+compute lanes per event — so pipelining and contention are visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.simulator import EventRecord
+
+_LANE_GLYPHS = {"front": "F", "link": "=", "back": "B"}
+
+
+def render_timeline(
+    events: Sequence[EventRecord],
+    width: int = 72,
+    max_events: int = 12,
+) -> str:
+    """Render event stages on a shared time axis.
+
+    Args:
+        events: Records from a simulation run (the first ``max_events``
+            are drawn).
+        width: Character width of the time axis.
+        max_events: Rows to draw.
+
+    Returns:
+        The chart: one row per event, ``F`` = front-end compute,
+        ``=`` = link transfer, ``B`` = back-end compute, ``.`` = waiting.
+    """
+    if not events:
+        raise ConfigurationError("no events to render")
+    if width < 10:
+        raise ConfigurationError("width must be at least 10")
+    shown = list(events)[:max_events]
+    t0 = shown[0].release_s
+    t1 = max(e.finish_s for e in shown)
+    span = max(t1 - t0, 1e-12)
+
+    def column(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * (width - 1)))
+
+    lines: List[str] = [
+        f"time axis: {t0 * 1e3:.3f} ms .. {t1 * 1e3:.3f} ms "
+        f"({span * 1e3:.3f} ms span)"
+    ]
+    for event in shown:
+        row = [" "] * width
+        # Waiting period between release and first activity.
+        for c in range(column(event.release_s), column(event.front_start_s)):
+            row[c] = "."
+        spans = [
+            ("front", event.front_start_s, event.link_start_s),
+            ("link", event.link_start_s, event.back_start_s),
+            ("back", event.back_start_s, event.finish_s),
+        ]
+        for lane, start, end in spans:
+            lo, hi = column(start), column(end)
+            glyph = _LANE_GLYPHS[lane]
+            for c in range(lo, max(hi, lo + (1 if end > start else 0))):
+                row[c] = glyph
+        lines.append(f"ev{event.index:03d} |{''.join(row)}|")
+    lines.append("legend: F front-end compute, = link transfer, B back-end, . queued")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+The expensive object is a trained analytic engine; a deliberately tiny
+configuration (60 segments, 8 subspace draws of 6 features, 2 retained
+members) keeps the whole suite fast while exercising every code path the
+full-scale evaluation uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.signals.datasets import load_case
+
+TINY_TRAINING = TrainingConfig(
+    subspace_dim=6, n_draws=8, keep_fraction=0.25, seed=7
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 60-segment C1 dataset (ECG, segment length 82)."""
+    return load_case("C1", n_segments=60)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_dataset):
+    """A trained analytic engine on the tiny dataset (2 members)."""
+    return train_analytic_engine(tiny_dataset, TINY_TRAINING)
+
+
+@pytest.fixture(scope="session")
+def energy_lib_90():
+    """Default 90 nm energy library."""
+    return EnergyLibrary("90nm")
+
+
+@pytest.fixture(scope="session")
+def tiny_topology(tiny_engine, energy_lib_90):
+    """Functional-cell topology of the tiny engine at 90 nm."""
+    return tiny_engine.build_topology(energy_lib_90)
+
+
+@pytest.fixture(scope="session")
+def link_model2():
+    """Wireless Model 2 link (the paper's default)."""
+    return WirelessLink("model2")
+
+
+@pytest.fixture(scope="session")
+def cpu_model():
+    """Default aggregator CPU model."""
+    return AggregatorCPU()
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,92 @@
+"""Tests for the ablation studies (fast, tiny-engine versions)."""
+
+import pytest
+
+from repro.core.layout import FeatureLayout
+from repro.eval.ablations import (
+    alu_mode_ablation,
+    ble_ablation,
+    cell_reuse_ablation,
+    delay_constraint_ablation,
+    ensemble_ablation,
+)
+from repro.signals.datasets import load_case
+
+
+class TestALUModeAblation:
+    def test_chosen_is_never_worse_than_any_forced_mode(
+        self, tiny_topology, energy_lib_90
+    ):
+        result = alu_mode_ablation(tiny_topology, energy_lib_90)
+        for mode in ("serial", "parallel", "pipeline"):
+            assert result["chosen"] <= result[mode] * (1 + 1e-12), mode
+
+    def test_parallel_everywhere_is_catastrophic(self, tiny_topology, energy_lib_90):
+        result = alu_mode_ablation(tiny_topology, energy_lib_90)
+        assert result["parallel"] > 5 * result["chosen"]
+
+    def test_all_serial_strictly_worse(self, tiny_topology, energy_lib_90):
+        # Serial is optimal for most modules, but forcing it on the DWT
+        # (whose serial realisation is the dense matrix multiply) costs an
+        # order of magnitude — the win of design rule 2 comes from the
+        # std/dwt pipeline exceptions.
+        result = alu_mode_ablation(tiny_topology, energy_lib_90)
+        assert result["chosen"] < result["serial"] <= 40 * result["chosen"]
+
+
+class TestReuseAblation:
+    def test_reuse_saves_energy_when_std_present(
+        self, tiny_engine, tiny_topology, energy_lib_90
+    ):
+        result = cell_reuse_ablation(
+            tiny_topology, energy_lib_90, tiny_engine.layout
+        )
+        if result["std_cell_count"] > 0:
+            assert result["no_reuse"] > result["reuse"]
+        else:
+            assert result["no_reuse"] == pytest.approx(result["reuse"])
+
+
+class TestEnsembleAblation:
+    def test_random_subspace_needs_fewest_feature_cells(self, energy_lib_90):
+        dataset = load_case("C1", n_segments=60)
+        layout = FeatureLayout(segment_length=dataset.segment_length)
+        rows = ensemble_ablation(
+            dataset,
+            layout,
+            energy_lib_90,
+            n_members=2,
+            subspace_dim=6,
+            n_draws=8,
+            seed=5,
+        )
+        by_method = {r["method"]: r for r in rows}
+        rs = by_method["random_subspace"]
+        assert rs["used_features"] < by_method["bagging"]["used_features"]
+        assert rs["used_features"] < by_method["adaboost"]["used_features"]
+        assert (
+            rs["feature_cell_energy_uj"]
+            < by_method["bagging"]["feature_cell_energy_uj"]
+        )
+        # Full-feature baselines instantiate the complete statistical set.
+        assert by_method["bagging"]["used_features"] == layout.n_features
+
+
+class TestBLEAblation:
+    def test_ble_collapses_lifetime(self, tiny_topology, energy_lib_90, cpu_model):
+        rows = ble_ablation(tiny_topology, energy_lib_90, cpu_model, period_s=0.4)
+        by_radio = {r["radio"]: r for r in rows}
+        assert by_radio["ble"]["aggregator_h"] < 0.1 * by_radio["model2"]["aggregator_h"]
+        # Cross-end still does its best under BLE (degenerates to in-sensor).
+        assert by_radio["ble"]["cross_h"] >= by_radio["ble"]["aggregator_h"]
+
+
+class TestDelayConstraintAblation:
+    def test_constraint_costs_bounded_energy(
+        self, tiny_topology, energy_lib_90, link_model2, cpu_model
+    ):
+        result = delay_constraint_ablation(
+            tiny_topology, energy_lib_90, link_model2, cpu_model
+        )
+        assert result["constrained_energy_uj"] >= result["unconstrained_energy_uj"] - 1e-12
+        assert result["energy_premium_pct"] >= -1e-9

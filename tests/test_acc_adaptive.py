@@ -1,0 +1,128 @@
+"""Tests for the accelerometer modality and the adaptive controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptivePartitionController, LossRateEstimator
+from repro.core.generator import AutomaticXProGenerator
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.errors import ConfigurationError
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.wireless import WirelessLink
+from repro.signals.datasets import load_fall_detection
+from repro.signals.waveforms import AccelerometerGenerator
+
+
+class TestAccelerometer:
+    def test_segment_shape_and_gravity_baseline(self, rng):
+        gen = AccelerometerGenerator(128)
+        walking = gen.generate(rng, 0)
+        assert walking.shape == (128,)
+        # Walking magnitude rides around 1 g.
+        assert 0.7 < walking.mean() < 1.3
+
+    def test_fall_has_freefall_and_impact(self, rng):
+        gen = AccelerometerGenerator(128, impact_strength=3.0)
+        falls = np.stack([gen.generate(rng, 1) for _ in range(20)])
+        walks = np.stack([gen.generate(rng, 0) for _ in range(20)])
+        # Falls reach much higher peaks (impact) and much lower dips
+        # (free fall) than walking.
+        assert falls.max(axis=1).mean() > 1.5 * walks.max(axis=1).mean()
+        assert falls.min(axis=1).mean() < walks.min(axis=1).mean()
+
+    def test_invalid_impact(self):
+        with pytest.raises(ConfigurationError):
+            AccelerometerGenerator(64, impact_strength=0.0)
+
+    def test_dataset_loader(self):
+        ds = load_fall_detection(n_segments=30)
+        assert ds.spec.modality == "acc"
+        assert ds.segment_length == 128
+        n0, n1 = ds.class_counts()
+        assert n0 == n1 == 15
+
+    def test_full_pipeline_learns_falls(self):
+        ds = load_fall_detection(n_segments=60)
+        engine = train_analytic_engine(
+            ds, TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34)
+        )
+        assert engine.test_accuracy >= 0.8  # falls are a strong signature
+
+
+class TestLossRateEstimator:
+    def test_converges_to_true_rate(self):
+        # A single end-point sample of an EWMA is noisy (stationary std
+        # ~ sqrt(p(1-p) alpha/2)); average the tracker over a trailing
+        # window instead.
+        est = LossRateEstimator(alpha=0.05)
+        rng = np.random.default_rng(1)
+        trail = []
+        for i in range(4000):
+            est.observe(bool(rng.random() < 0.3))
+            if i >= 1000:
+                trail.append(est.estimate)
+        assert np.mean(trail) == pytest.approx(0.3, abs=0.05)
+
+    def test_clamped_below_one(self):
+        est = LossRateEstimator(alpha=1.0)
+        est.observe(True)
+        assert est.estimate < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LossRateEstimator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            LossRateEstimator(estimate=1.0)
+
+
+class TestAdaptiveController:
+    @pytest.fixture(scope="class")
+    def controller_env(self, request):
+        topo = request.getfixturevalue("tiny_topology")
+        lib = request.getfixturevalue("energy_lib_90")
+        generator = AutomaticXProGenerator(
+            topo, lib, WirelessLink("model2"), AggregatorCPU()
+        )
+        return generator
+
+    def test_evaluates_on_schedule(self, controller_env):
+        ctrl = AdaptivePartitionController(controller_env, recheck_interval=50)
+        events = [ctrl.observe_event(False) for _ in range(100)]
+        decisions = [e for e in events if e is not None]
+        assert len(decisions) == 2
+        assert decisions[0].event_index == 50
+
+    def test_stable_channel_never_switches(self, controller_env):
+        ctrl = AdaptivePartitionController(controller_env, recheck_interval=25)
+        for _ in range(100):
+            ctrl.observe_event(False)
+        assert all(not e.switched for e in ctrl.history)
+
+    def test_degrading_channel_never_increases_energy(self, controller_env):
+        ctrl = AdaptivePartitionController(
+            controller_env, recheck_interval=50, min_improvement=0.0,
+            switch_cost_j=0.0,
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(400):
+            ctrl.observe_event(bool(rng.random() < 0.6))
+        for event in ctrl.history:
+            assert event.energy_after_j <= event.energy_before_j + 1e-18
+
+    def test_hysteresis_blocks_marginal_switches(self, controller_env):
+        strict = AdaptivePartitionController(
+            controller_env, recheck_interval=50, min_improvement=0.9
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            strict.observe_event(bool(rng.random() < 0.6))
+        # A 90%-improvement bar is unreachable: nothing switches.
+        assert all(not e.switched for e in strict.history)
+
+    def test_validation(self, controller_env):
+        with pytest.raises(ConfigurationError):
+            AdaptivePartitionController(controller_env, recheck_interval=0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePartitionController(controller_env, min_improvement=-0.1)
+        with pytest.raises(ConfigurationError):
+            AdaptivePartitionController(controller_env, switch_cost_j=-1.0)

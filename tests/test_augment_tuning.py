@@ -1,0 +1,173 @@
+"""Tests for data augmentation and hyper-parameter grid search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.ml.tuning import grid_search
+from repro.signals.augment import (
+    Augmenter,
+    additive_noise,
+    amplitude_scale,
+    baseline_shift,
+    time_mask,
+    time_shift,
+)
+
+SEGMENTS = arrays(
+    np.float64,
+    st.integers(8, 64),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False, width=64),
+)
+
+
+class TestTransforms:
+    @given(SEGMENTS, st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_all_transforms_preserve_shape(self, seg, seed):
+        rng = np.random.default_rng(seed)
+        for transform in (
+            time_shift(0.2),
+            amplitude_scale(0.2),
+            baseline_shift(0.5),
+            additive_noise(0.1),
+            time_mask(0.2),
+        ):
+            out = transform(seg, rng)
+            assert out.shape == seg.shape
+            assert np.isfinite(out).all()
+
+    def test_time_shift_is_circular(self, rng):
+        seg = np.arange(10.0)
+        out = time_shift(0.3)(seg, rng)
+        assert sorted(out.tolist()) == sorted(seg.tolist())
+
+    def test_amplitude_scale_bounds(self, rng):
+        seg = np.ones(16)
+        out = amplitude_scale(0.1)(seg, rng)
+        assert 0.9 <= out[0] <= 1.1
+
+    def test_time_mask_zeros_a_span(self, rng):
+        seg = np.ones(32)
+        out = time_mask(0.3)(seg, rng)
+        assert (out == 0).sum() >= 1
+        assert (out == 1).sum() >= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            time_shift(0.0)
+        with pytest.raises(ConfigurationError):
+            amplitude_scale(1.5)
+        with pytest.raises(ConfigurationError):
+            baseline_shift(0.0)
+        with pytest.raises(ConfigurationError):
+            additive_noise(0.0)
+        with pytest.raises(ConfigurationError):
+            time_mask(0.6)
+
+
+class TestAugmenter:
+    def test_expand_counts_and_labels(self, rng):
+        X = rng.normal(size=(10, 16))
+        y = np.arange(10) % 2
+        aug = Augmenter([additive_noise(0.05)], copies=2, seed=1)
+        X2, y2 = aug.expand(X, y)
+        assert X2.shape == (30, 16)
+        assert np.array_equal(y2[:10], y)
+        assert np.array_equal(y2[10:20], y)
+        # Originals pass through untouched.
+        assert np.array_equal(X2[:10], X)
+        # Copies differ from originals.
+        assert not np.allclose(X2[10:20], X)
+
+    def test_deterministic_by_seed(self, rng):
+        X = rng.normal(size=(5, 8))
+        y = np.zeros(5, dtype=int)
+        a = Augmenter([additive_noise(0.1)], seed=3).expand(X, y)
+        b = Augmenter([additive_noise(0.1)], seed=3).expand(X, y)
+        assert np.array_equal(a[0], b[0])
+
+    def test_augmentation_robust_under_gain_error(self):
+        """Gain-augmented training stays usable when the test set carries
+        strong gain error, averaged over several draws (a single draw is
+        too noisy to compare the two classifiers reliably)."""
+        from repro.ml.svm import SVMClassifier
+
+        plain_accs, robust_accs = [], []
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            n, dim = 80, 8
+            y = rng.integers(0, 2, size=n)
+            X = rng.normal(size=(n, dim)) + 1.5 * y[:, None]
+            gains = rng.uniform(0.6, 1.4, size=(n, 1))
+            X_test = (rng.normal(size=(n, dim)) + 1.5 * y[:, None]) * gains
+
+            plain = SVMClassifier(seed=1).fit(X, y)
+            aug = Augmenter([amplitude_scale(0.4)], copies=3, seed=seed)
+            X_aug, y_aug = aug.expand(X, y)
+            robust = SVMClassifier(seed=1).fit(X_aug, y_aug)
+            plain_accs.append(float(np.mean(plain.predict(X_test) == y)))
+            robust_accs.append(float(np.mean(robust.predict(X_test) == y)))
+
+        assert np.mean(robust_accs) > 0.75
+        assert np.mean(robust_accs) >= np.mean(plain_accs) - 0.03
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Augmenter([])
+        with pytest.raises(ConfigurationError):
+            Augmenter([additive_noise(0.1)], copies=0)
+        with pytest.raises(ConfigurationError):
+            Augmenter([additive_noise(0.1)]).expand(np.zeros(5), np.zeros(5))
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(5)
+        y = rng.integers(0, 2, size=60)
+        X = rng.normal(size=(60, 10))
+        X[:, :3] += 2.0 * y[:, None]
+        return X, y
+
+    def test_finds_reasonable_point(self, data):
+        X, y = data
+        result = grid_search(
+            X, y,
+            grid={"subspace_dim": [3, 6], "C": [1.0]},
+            cv_folds=3,
+            seed=2,
+        )
+        assert result.best_score > 0.7
+        assert result.best_params["subspace_dim"] in (3, 6)
+        assert len(result.rows) == 2
+
+    def test_rows_sorted_best_first(self, data):
+        X, y = data
+        result = grid_search(
+            X, y, grid={"subspace_dim": [2, 4, 8]}, cv_folds=3, seed=2
+        )
+        scores = [r["mean_accuracy"] for r in result.rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_kernel_axis(self, data):
+        X, y = data
+        result = grid_search(
+            X, y,
+            grid={"kernel": ["rbf", "linear"], "subspace_dim": [4]},
+            cv_folds=3,
+            seed=2,
+        )
+        assert {r["kernel"] for r in result.rows} == {"rbf", "linear"}
+
+    def test_validation(self, data):
+        X, y = data
+        with pytest.raises(ConfigurationError):
+            grid_search(X, y, grid={})
+        with pytest.raises(ConfigurationError):
+            grid_search(X, y, grid={"bogus": [1]})
+        with pytest.raises(ConfigurationError):
+            grid_search(np.zeros(5), y[:5], grid={"C": [1.0]})

@@ -1,0 +1,80 @@
+"""Tests for the bagging / AdaBoost ensemble baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.ml.baselines import AdaBoostSVMClassifier, BaggingSVMClassifier
+from repro.ml.metrics import accuracy
+
+
+def _blobs(rng, n=70, gap=2.0, dim=6):
+    y = rng.integers(0, 2, size=n)
+    X = rng.normal(size=(n, dim))
+    X[:, :2] += gap * y[:, None]
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(21)
+    return _blobs(rng)
+
+
+class TestBagging:
+    def test_learns(self, data):
+        X, y = data
+        clf = BaggingSVMClassifier(n_features=6, n_members=5, seed=3).fit(X, y)
+        assert accuracy(y, clf.predict(X)) > 0.85
+
+    def test_member_count(self, data):
+        X, y = data
+        clf = BaggingSVMClassifier(6, 4, seed=3).fit(X, y)
+        assert len(clf.members) == 4
+        assert all(m.weight == 1.0 for m in clf.members)
+
+    def test_uses_all_features(self, data):
+        X, y = data
+        clf = BaggingSVMClassifier(6, 3, seed=3).fit(X, y)
+        assert clf.used_feature_indices() == tuple(range(6))
+
+    def test_validation(self, data):
+        X, y = data
+        with pytest.raises(ConfigurationError):
+            BaggingSVMClassifier(0, 3)
+        with pytest.raises(ConfigurationError):
+            BaggingSVMClassifier(6, 0)
+        with pytest.raises(TrainingError):
+            BaggingSVMClassifier(6, 3).fit(X, np.zeros(len(X), dtype=int))
+        with pytest.raises(ConfigurationError):
+            BaggingSVMClassifier(6, 3).predict(X)
+
+
+class TestAdaBoost:
+    def test_learns(self, data):
+        X, y = data
+        clf = AdaBoostSVMClassifier(n_features=6, n_members=5, seed=3).fit(X, y)
+        assert accuracy(y, clf.predict(X)) > 0.85
+
+    def test_weights_positive(self, data):
+        X, y = data
+        clf = AdaBoostSVMClassifier(6, 5, seed=3).fit(X, y)
+        assert all(m.weight > 0 for m in clf.members)
+
+    def test_early_stop_on_perfect_member(self):
+        rng = np.random.default_rng(0)
+        X, y = _blobs(rng, gap=8.0)  # trivially separable
+        clf = AdaBoostSVMClassifier(6, 10, seed=1).fit(X, y)
+        assert len(clf.members) <= 10
+        assert accuracy(y, clf.predict(X)) == 1.0
+
+    def test_decision_sign_matches_predict(self, data):
+        X, y = data
+        clf = AdaBoostSVMClassifier(6, 4, seed=3).fit(X, y)
+        scores = clf.decision_function(X)
+        assert np.array_equal((np.atleast_1d(scores) > 0).astype(int), clf.predict(X))
+
+    def test_single_class_rejected(self, data):
+        X, _ = data
+        with pytest.raises(TrainingError):
+            AdaBoostSVMClassifier(6, 3).fit(X, np.ones(len(X), dtype=int))

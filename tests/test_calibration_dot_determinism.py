@@ -1,0 +1,117 @@
+"""Tests: Platt calibration, DOT export, end-to-end determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.graph.stgraph import build_st_graph
+from repro.graph.visualize import st_graph_to_dot, topology_to_dot
+from repro.ml.calibration import PlattScaler, brier_score
+
+
+class TestPlattScaler:
+    def _scored_data(self, rng, n=300, scale=2.0):
+        y = rng.integers(0, 2, size=n)
+        scores = scale * (2 * y - 1) + rng.normal(0, 1.5, size=n)
+        return scores, y
+
+    def test_probabilities_in_unit_interval(self, rng):
+        scores, y = self._scored_data(rng)
+        scaler = PlattScaler().fit(scores, y)
+        p = scaler.predict_proba(scores)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_monotone_in_score(self, rng):
+        scores, y = self._scored_data(rng)
+        scaler = PlattScaler().fit(scores, y)
+        grid = np.linspace(-5, 5, 50)
+        p = scaler.predict_proba(grid)
+        assert all(a <= b + 1e-12 for a, b in zip(p, p[1:]))
+
+    def test_calibration_beats_naive_sigmoid(self, rng):
+        # Scores deliberately mis-scaled: raw sigmoid(score) is badly
+        # calibrated, the fitted sigmoid must do better (lower Brier).
+        scores, y = self._scored_data(rng, scale=0.3)
+        scores = scores * 10.0
+        scaler = PlattScaler().fit(scores, y)
+        fitted = brier_score(scaler.predict_proba(scores), y)
+        naive = brier_score(1.0 / (1.0 + np.exp(-scores)), y)
+        assert fitted < naive
+
+    def test_handles_separable_scores(self, rng):
+        y = np.array([0] * 20 + [1] * 20)
+        scores = np.where(y == 1, 5.0, -5.0) + rng.normal(0, 0.01, 40)
+        scaler = PlattScaler().fit(scores, y)
+        p = scaler.predict_proba(scores)
+        assert np.isfinite(p).all()
+        assert (p[y == 1] > 0.5).all()
+
+    def test_ensemble_integration(self, tiny_engine, tiny_dataset):
+        layout, norm = tiny_engine.layout, tiny_engine.normalizer
+        X = norm.transform(layout.extract_matrix(tiny_dataset.segments))
+        scores = np.atleast_1d(tiny_engine.ensemble.decision_function(X))
+        scaler = PlattScaler().fit(scores, tiny_dataset.labels)
+        p = scaler.predict_proba(scores)
+        assert brier_score(p, tiny_dataset.labels) < 0.25
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            PlattScaler(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            PlattScaler().fit(np.zeros(3), np.zeros(4))
+        with pytest.raises(TrainingError):
+            PlattScaler().fit(np.zeros(4), np.zeros(4, dtype=int))
+        with pytest.raises(ConfigurationError):
+            PlattScaler().predict_proba(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            brier_score(np.zeros(2), np.zeros(3))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_robust_across_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        scores, y = self._scored_data(rng, n=80)
+        scaler = PlattScaler().fit(scores, y)
+        assert np.isfinite(scaler.predict_proba(scores)).all()
+
+
+class TestDotExport:
+    def test_topology_dot_structure(self, tiny_topology):
+        dot = topology_to_dot(tiny_topology)
+        assert dot.startswith("digraph topology {")
+        assert dot.rstrip().endswith("}")
+        for name in tiny_topology.cells:
+            assert f'"{name}"' in dot
+
+    def test_partition_colouring(self, tiny_topology):
+        some = frozenset(list(tiny_topology.cells)[:3])
+        dot = topology_to_dot(tiny_topology, in_sensor=some)
+        assert "lightblue" in dot and "lightgray" in dot
+
+    def test_st_graph_dot(self, tiny_topology, energy_lib_90, link_model2):
+        graph = build_st_graph(tiny_topology, energy_lib_90, link_model2)
+        dot = st_graph_to_dot(graph)
+        assert '"F"' in dot and '"B"' in dot
+        assert "inf" in dot  # the grouped-data infinite edges
+        assert dot.count("->") > len(tiny_topology)
+
+    def test_dot_is_balanced(self, tiny_topology):
+        dot = topology_to_dot(tiny_topology)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestEndToEndDeterminism:
+    def test_identical_runs_produce_identical_systems(self):
+        from repro import XProSystem
+        from repro.core.pipeline import TrainingConfig
+
+        config = TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34, seed=9)
+        a = XProSystem.for_case("C1", n_segments=48, training=config)
+        b = XProSystem.for_case("C1", n_segments=48, training=config)
+        assert a.partition.in_sensor == b.partition.in_sensor
+        assert a.metrics.sensor_total_j == b.metrics.sensor_total_j
+        assert a.trained.test_accuracy == b.trained.test_accuracy
+        seg = a.dataset.segments[0]
+        assert a.classify(seg) == b.classify(seg)

@@ -1,0 +1,99 @@
+"""Tests for the Gilbert-Elliott bursty channel model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.channel import (
+    GilbertElliottChannel,
+    GilbertElliottParams,
+    burst_lengths,
+)
+
+
+class TestParams:
+    def test_stationary_quantities(self):
+        p = GilbertElliottParams(0.02, 0.08, 0.0, 0.5)
+        assert p.stationary_bad_fraction == pytest.approx(0.2)
+        assert p.stationary_loss_rate == pytest.approx(0.1)
+        assert p.mean_burst_length == pytest.approx(12.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams(p_good_to_bad=0.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams(loss_bad=1.0)
+
+
+class TestChannel:
+    def test_empirical_loss_matches_stationary(self):
+        params = GilbertElliottParams(0.02, 0.1, 0.01, 0.6)
+        channel = GilbertElliottChannel(params, seed=1)
+        outcomes = channel.outcomes(60_000)
+        assert outcomes.mean() == pytest.approx(
+            params.stationary_loss_rate, abs=0.02
+        )
+
+    def test_burstier_than_iid(self):
+        """At matched mean loss, the GE channel's losses cluster: its mean
+        loss-run length exceeds the i.i.d. channel's."""
+        params = GilbertElliottParams(0.01, 0.08, 0.005, 0.7)
+        channel = GilbertElliottChannel(params, seed=3)
+        ge_outcomes = channel.outcomes(40_000)
+        rng = np.random.default_rng(3)
+        iid_outcomes = rng.random(40_000) < ge_outcomes.mean()
+        ge_bursts = burst_lengths(ge_outcomes)
+        iid_bursts = burst_lengths(iid_outcomes)
+        assert ge_bursts.mean() > 1.5 * iid_bursts.mean()
+
+    def test_reproducible_by_seed(self):
+        a = GilbertElliottChannel(seed=9).outcomes(500)
+        b = GilbertElliottChannel(seed=9).outcomes(500)
+        assert np.array_equal(a, b)
+
+    def test_state_exposed(self):
+        channel = GilbertElliottChannel(
+            GilbertElliottParams(1.0, 1.0, 0.0, 0.9), seed=0
+        )
+        channel.next_outcome()
+        assert isinstance(channel.in_bad_state, bool)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottChannel().outcomes(0)
+
+
+class TestBurstLengths:
+    def test_known_sequence(self):
+        outcomes = np.array([0, 1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert burst_lengths(outcomes).tolist() == [2, 1, 3]
+
+    def test_no_losses(self):
+        assert burst_lengths(np.zeros(10, dtype=bool)).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_lengths(np.zeros((2, 2), dtype=bool))
+
+
+class TestAdaptiveIntegration:
+    def test_controller_survives_bursty_channel(
+        self, tiny_topology, energy_lib_90, cpu_model
+    ):
+        from repro.core.adaptive import AdaptivePartitionController
+        from repro.core.generator import AutomaticXProGenerator
+        from repro.hw.wireless import WirelessLink
+
+        generator = AutomaticXProGenerator(
+            tiny_topology, energy_lib_90, WirelessLink("model2"), cpu_model
+        )
+        controller = AdaptivePartitionController(generator, recheck_interval=50)
+        channel = GilbertElliottChannel(
+            GilbertElliottParams(0.05, 0.05, 0.01, 0.7), seed=4
+        )
+        for _ in range(300):
+            controller.observe_event(channel.next_outcome())
+        # Decisions happened and never increased per-event energy.
+        assert len(controller.history) == 6
+        for event in controller.history:
+            assert event.energy_after_j <= event.energy_before_j + 1e-18

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface and ASCII chart renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.eval.charts import bar_chart
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "ECGTwoLead" in out and "1162" in out
+
+    def test_partition_small(self, capsys):
+        code = main(
+            [
+                "partition",
+                "--case", "c1",
+                "--segments", "48",
+                "--draws", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XPro partition for C1" in out
+        assert "sensor energy" in out
+
+    def test_figure_small(self, capsys):
+        code = main(["figure", "4", "--segments", "48", "--draws", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "dwt" in out
+
+    def test_headline_small(self, capsys):
+        code = main(["headline", "--segments", "48", "--draws", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "battery_x_vs_aggregator" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBarChart:
+    ROWS = [
+        {"case": "C1", "a": 1.0, "b": 2.0},
+        {"case": "C2", "a": 4.0, "b": 0.5},
+    ]
+
+    def test_renders_all_series(self):
+        text = bar_chart(self.ROWS, "case", ["a", "b"], width=10, title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.count("|") == 8  # two bars per row, two delimiters each
+        assert "C1" in text and "C2" in text
+
+    def test_peak_bar_fills_width(self):
+        text = bar_chart(self.ROWS, "case", ["a"], width=10)
+        assert "█" * 10 in text
+
+    def test_values_printed(self):
+        text = bar_chart(self.ROWS, "case", ["a", "b"])
+        assert "0.5" in text and "4" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([], "case", ["a"])
+        with pytest.raises(ConfigurationError):
+            bar_chart(self.ROWS, "case", ["missing"])
+        with pytest.raises(ConfigurationError):
+            bar_chart(self.ROWS, "case", ["a"], width=2)
+        with pytest.raises(ConfigurationError):
+            bar_chart([{"case": "x", "a": 0.0}], "case", ["a"])

@@ -1,0 +1,66 @@
+"""Tests for the experiment context caching and the co-design sweep."""
+
+import pytest
+
+from repro.core.pipeline import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.eval.codesign import codesign_rows
+from repro.eval.context import ExperimentContext
+from repro.signals.datasets import load_case
+
+TINY = TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34, seed=9)
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(n_segments=48, training=TINY)
+
+    def test_topology_cached_per_node(self, ctx):
+        a = ctx.topology("C1", "90nm")
+        b = ctx.topology("C1", "90nm")
+        c = ctx.topology("C1", "45nm")
+        assert a is b
+        assert a is not c
+
+    def test_strategy_metrics_cached(self, ctx):
+        a = ctx.strategy_metrics("C1", "90nm", "model2")
+        b = ctx.strategy_metrics("C1", "90nm", "model2")
+        assert a is b
+
+    def test_calibration_override_scales_compute(self):
+        lo = ExperimentContext(n_segments=48, training=TINY, calibration=0.5)
+        hi = ExperimentContext(n_segments=48, training=TINY, calibration=2.0)
+        m_lo = lo.strategy_metrics("C1")["sensor"]
+        m_hi = hi.strategy_metrics("C1")["sensor"]
+        assert m_hi.sensor_compute_j == pytest.approx(
+            4 * m_lo.sensor_compute_j, rel=1e-9
+        )
+
+    def test_all_cases_order(self, ctx):
+        assert ctx.all_cases() == ("C1", "C2", "E1", "E2", "M1", "M2")
+
+    def test_generator_factory(self, ctx):
+        gen = ctx.generator("C1")
+        assert gen.topology is ctx.topology("C1", "90nm")
+
+
+class TestCodesign:
+    def test_small_sweep(self):
+        dataset = load_case("C1", n_segments=48)
+        rows = codesign_rows(
+            dataset,
+            sweep=((4, 6, 0.34), (8, 6, 0.34)),
+            seed=3,
+        )
+        assert len(rows) == 2
+        assert rows[0]["subspace_dim"] == 4
+        assert rows[1]["used_features"] >= rows[0]["used_features"] - 5
+        for row in rows:
+            assert row["lifetime_h"] > 0
+            assert row["cells"] > 0
+
+    def test_empty_sweep_rejected(self):
+        dataset = load_case("C1", n_segments=48)
+        with pytest.raises(ConfigurationError):
+            codesign_rows(dataset, sweep=())

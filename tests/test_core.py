@@ -1,0 +1,199 @@
+"""Tests for the core layer: layout, builder, pipeline, partition."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_topology
+from repro.core.layout import FeatureLayout, align_segment
+from repro.core.partition import Partition
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.errors import ConfigurationError
+from repro.signals.datasets import load_case
+
+
+class TestAlignSegment:
+    def test_truncates(self):
+        out = align_segment(np.arange(10.0), 4)
+        assert np.allclose(out, [0, 1, 2, 3])
+
+    def test_pads_with_zeros(self):
+        out = align_segment(np.arange(3.0), 6)
+        assert np.allclose(out, [0, 1, 2, 0, 0, 0])
+
+    def test_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(align_segment(x, 5), x)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            align_segment(np.zeros((2, 2)), 4)
+        with pytest.raises(ConfigurationError):
+            align_segment(np.arange(4.0), 0)
+
+
+class TestFeatureLayout:
+    def test_paper_dimensions(self):
+        layout = FeatureLayout(segment_length=128)
+        assert layout.n_domains == 7
+        assert layout.n_features == 56
+        assert layout.domain_lengths() == [128, 64, 32, 16, 8, 4, 4]
+        assert layout.domain_labels() == ["time", "D1", "D2", "D3", "D4", "A5", "D5"]
+
+    def test_feature_index_mapping(self):
+        layout = FeatureLayout(segment_length=128)
+        assert layout.feature_of(0) == (0, "max")
+        assert layout.feature_of(8) == (1, "max")
+        assert layout.feature_of(15) == (1, "kurt")
+        assert layout.feature_label(20) == "std@D2"
+        with pytest.raises(ConfigurationError):
+            layout.feature_of(56)
+
+    def test_dwt_level_of_domain(self):
+        layout = FeatureLayout(segment_length=128)
+        assert layout.dwt_level_of_domain(0) == 0
+        assert layout.dwt_level_of_domain(1) == 1
+        assert layout.dwt_level_of_domain(4) == 4
+        assert layout.dwt_level_of_domain(5) == 5  # A5
+        assert layout.dwt_level_of_domain(6) == 5  # D5
+
+    def test_nonaligned_segment_lengths_supported(self):
+        layout = FeatureLayout(segment_length=82)
+        assert layout.domain_lengths()[0] == 82
+        assert layout.domain_lengths()[1:] == [64, 32, 16, 8, 4, 4]
+
+    def test_extract_dimension(self, rng):
+        layout = FeatureLayout(segment_length=82)
+        vec = layout.extract(rng.normal(size=82))
+        assert vec.shape == (56,)
+
+    def test_extract_time_features_use_native_segment(self, rng):
+        layout = FeatureLayout(segment_length=82)
+        seg = rng.normal(size=82)
+        vec = layout.extract(seg)
+        assert vec[0] == seg.max()
+        assert vec[1] == seg.min()
+
+    def test_extract_matrix(self, rng):
+        layout = FeatureLayout(segment_length=82)
+        mat = layout.extract_matrix(rng.normal(size=(5, 82)))
+        assert mat.shape == (5, 56)
+
+    def test_wrong_segment_length_rejected(self, rng):
+        layout = FeatureLayout(segment_length=82)
+        with pytest.raises(ConfigurationError):
+            layout.extract(rng.normal(size=100))
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            FeatureLayout(segment_length=0)
+        with pytest.raises(ConfigurationError):
+            FeatureLayout(segment_length=128, dwt_aligned_length=100)
+
+
+class TestTrainingPipeline:
+    def test_trained_engine_fields(self, tiny_engine):
+        assert tiny_engine.dataset_symbol == "C1"
+        assert 0.0 <= tiny_engine.test_accuracy <= 1.0
+        assert tiny_engine.ensemble.is_fitted
+        assert tiny_engine.normalizer.is_fitted
+
+    def test_learns_above_chance(self, tiny_engine):
+        assert tiny_engine.test_accuracy > 0.5
+
+    def test_predict_segment_matches_ensemble(self, tiny_engine, tiny_dataset):
+        seg = tiny_dataset.segments[0]
+        raw = tiny_engine.layout.extract(seg)
+        normalised = tiny_engine.normalizer.transform(raw)
+        expected = int(tiny_engine.ensemble.predict(normalised[None, :])[0])
+        assert tiny_engine.predict_segment(seg) == expected
+
+    def test_split_repeats_keep_best(self):
+        ds = load_case("C1", 50)
+        config = TrainingConfig(
+            subspace_dim=4, n_draws=4, keep_fraction=0.5, split_repeats=2, seed=1
+        )
+        engine = train_analytic_engine(ds, config)
+        assert engine.config.split_repeats == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(split_repeats=0)
+
+
+class TestBuilder:
+    def test_only_used_features_become_cells(self, tiny_engine, tiny_topology):
+        used = set(tiny_engine.ensemble.used_feature_indices())
+        feature_cells = [
+            n for n, c in tiny_topology.cells.items()
+            if c.module not in ("dwt", "svm", "fusion")
+        ]
+        # Each used feature has a cell; var may appear extra (std reuse).
+        assert len(feature_cells) >= len(
+            {tiny_engine.layout.feature_of(i) for i in used}
+        ) - 1
+
+    def test_std_cells_depend_on_var_cells(self, tiny_topology):
+        for name, cell in tiny_topology.cells.items():
+            if cell.module == "std":
+                (ref,) = cell.inputs
+                assert ref.cell.startswith("var@")
+
+    def test_member_cells_match_ensemble(self, tiny_engine, tiny_topology):
+        svm_cells = [c for c in tiny_topology.cells.values() if c.module == "svm"]
+        assert len(svm_cells) == len(tiny_engine.ensemble.members)
+
+    def test_fusion_is_result(self, tiny_topology):
+        assert tiny_topology.result.cell == "fusion"
+
+    def test_monolithic_execution_matches_software_path(
+        self, tiny_engine, tiny_topology, tiny_dataset
+    ):
+        for seg in tiny_dataset.segments[:10]:
+            assert tiny_topology.classify(seg) == tiny_engine.predict_segment(seg)
+
+    def test_dwt_chain_depth_covers_used_bands(self, tiny_engine, tiny_topology):
+        layout = tiny_engine.layout
+        deepest = max(
+            (
+                layout.dwt_level_of_domain(layout.feature_of(i)[0])
+                for i in tiny_engine.ensemble.used_feature_indices()
+            ),
+            default=0,
+        )
+        dwt_cells = [n for n in tiny_topology.cells if n.startswith("dwt_l")]
+        assert len(dwt_cells) == deepest
+
+    def test_unfitted_inputs_rejected(self, tiny_engine, energy_lib_90):
+        from repro.dsp.normalize import MinMaxNormalizer
+        from repro.ml.subspace import RandomSubspaceClassifier
+
+        with pytest.raises(ConfigurationError):
+            build_topology(
+                tiny_engine.layout,
+                RandomSubspaceClassifier(56, 6),
+                tiny_engine.normalizer,
+                energy_lib_90,
+            )
+        with pytest.raises(ConfigurationError):
+            build_topology(
+                tiny_engine.layout,
+                tiny_engine.ensemble,
+                MinMaxNormalizer(),
+                energy_lib_90,
+            )
+
+
+class TestPartition:
+    def test_of_and_contains(self, tiny_topology):
+        p = Partition.of(["fusion"], label="x")
+        assert "fusion" in p and len(p) == 1
+
+    def test_validate_catches_unknown(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            Partition.of(["ghost"]).validate(tiny_topology)
+
+    def test_in_aggregator_complement(self, tiny_topology):
+        p = Partition.of(["fusion"])
+        agg = p.in_aggregator(tiny_topology)
+        assert "fusion" not in agg
+        assert len(agg) == len(tiny_topology) - 1

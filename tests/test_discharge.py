@@ -1,0 +1,87 @@
+"""Tests for the battery discharge-trace simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.battery import BatteryModel
+from repro.sim.discharge import simulate_discharge
+from repro.sim.lifetime import battery_lifetime_hours
+
+
+class TestDischargeSimulator:
+    def test_matches_closed_form_at_light_load(self):
+        # Microamp loads see no derating, so the trace must agree with the
+        # closed-form lifetime within one integration step.
+        energy, period = 2e-6, 0.5
+        closed = battery_lifetime_hours(energy, period, baseline_w=0.0)
+        trace = simulate_discharge(
+            energy, period, baseline_w=0.0, time_step_s=3600.0
+        )
+        assert trace.lifetime_hours == pytest.approx(closed, abs=1.0)
+
+    def test_soc_trace_monotone(self):
+        trace = simulate_discharge(2e-6, 0.5, baseline_w=0.0)
+        socs = [s for _, s in trace.samples]
+        assert socs[0] == 1.0
+        assert all(a >= b for a, b in zip(socs, socs[1:]))
+        assert socs[-1] == pytest.approx(0.0, abs=0.05)
+
+    def test_heavy_load_dies_faster_than_ideal(self):
+        # A load far above the C/5 rate triggers the rate-capacity effect.
+        battery = BatteryModel(capacity_mah=40, voltage_v=3.0, peukert_exponent=1.1)
+        heavy_w = 2.0
+        ideal_hours = battery.energy_j / heavy_w / 3600
+        trace = simulate_discharge(
+            heavy_w * 0.5, 0.5, battery=battery, baseline_w=0.0, time_step_s=10.0
+        )
+        assert trace.lifetime_hours < ideal_hours
+
+    def test_duty_cycle_extends_lifetime(self):
+        always = simulate_discharge(5e-6, 0.5, baseline_w=0.0)
+        half = simulate_discharge(
+            5e-6, 0.5, baseline_w=0.0,
+            schedule=lambda t: 0.5,
+        )
+        assert half.lifetime_hours > 1.8 * always.lifetime_hours
+
+    def test_events_counted(self):
+        trace = simulate_discharge(1e-5, 0.5, baseline_w=0.0, time_step_s=3600.0)
+        # Two events per second for the whole lifetime.
+        expected = trace.lifetime_hours * 3600 * 2
+        assert trace.events_processed == pytest.approx(expected, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_discharge(-1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            simulate_discharge(1e-6, 0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_discharge(1e-6, 0.5, time_step_s=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_discharge(1e-6, 0.5, schedule=lambda t: 2.0, max_hours=1)
+
+
+class TestKernelConfig:
+    def test_linear_kernel_pipeline(self):
+        from repro.core.pipeline import TrainingConfig, train_analytic_engine
+        from repro.signals.datasets import load_case
+
+        ds = load_case("C1", 48)
+        engine = train_analytic_engine(
+            ds,
+            TrainingConfig(
+                subspace_dim=5, n_draws=6, keep_fraction=0.34, kernel="linear"
+            ),
+        )
+        assert engine.test_accuracy > 0.4
+        # Linear members carry no super (exp) ops in their kernels.
+        member = engine.ensemble.members[0]
+        counts = member.classifier.operation_counts()
+        assert counts.get("super", 0) == 0
+
+    def test_unknown_kernel_rejected(self):
+        from repro.core.pipeline import TrainingConfig
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(kernel="poly")

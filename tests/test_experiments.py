@@ -1,0 +1,180 @@
+"""Integration tests: the experiment harness and public XProSystem API.
+
+These run the real figure-generating code paths on a drastically reduced
+configuration (tiny datasets, tiny ensembles) — the full-scale versions
+live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro import XProSystem
+from repro.core.pipeline import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.eval.context import STRATEGIES, ExperimentContext
+from repro.eval.experiments import (
+    fig4_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    headline_summary,
+    table1_rows,
+)
+from repro.eval.tables import format_table
+
+TINY = TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34, seed=9)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(n_segments=48, training=TINY)
+
+
+class TestContext:
+    def test_engines_cached(self, ctx):
+        a = ctx.engine("C1")
+        b = ctx.engine("C1")
+        assert a is b
+
+    def test_strategy_metrics_keys(self, ctx):
+        metrics = ctx.strategy_metrics("C1")
+        assert set(metrics) == set(STRATEGIES)
+
+    def test_cross_not_worse_than_feasible_extremes(self, ctx):
+        for node in ("130nm", "90nm"):
+            m = ctx.strategy_metrics("C1", node=node)
+            limit = min(
+                m["sensor"].delay_total_s, m["aggregator"].delay_total_s
+            ) * (1 + 1e-9)
+            for engine in ("sensor", "aggregator"):
+                if m[engine].delay_total_s <= limit:
+                    assert (
+                        m["cross"].sensor_total_j
+                        <= m[engine].sensor_total_j + 1e-15
+                    )
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        by_symbol = {r["symbol"]: r for r in rows}
+        assert by_symbol["E2"]["segment_number"] == 1000
+        assert by_symbol["M2"]["dataset"] == "EMGHandTip"
+
+
+class TestFig4:
+    def test_all_modules_characterised(self, ctx):
+        rows = fig4_rows(ctx)
+        assert {r["module"] for r in rows} == {
+            "max", "min", "mean", "var", "std", "czero", "skew", "kurt",
+            "dwt", "svm", "fusion",
+        }
+        for row in rows:
+            assert row["best_mode"] in ("serial", "parallel", "pipeline")
+            assert min(row["serial"], row["parallel"], row["pipeline"]) == row[
+                {"serial": "serial", "parallel": "parallel", "pipeline": "pipeline"}[
+                    row["best_mode"]
+                ]
+            ]
+
+
+class TestLifetimeFigures:
+    def test_fig8_shape_and_normalisation(self, ctx):
+        rows = fig8_rows(ctx, nodes=("90nm",))
+        assert len(rows) == 6
+        for row in rows:
+            assert row["aggregator_norm"] == pytest.approx(1.0)
+            assert row["cross_norm"] >= row["aggregator_norm"] - 1e-9
+
+    def test_fig9_baseline_is_model1_aggregator(self, ctx):
+        rows = fig9_rows(ctx, models=("model1", "model3"))
+        model1 = [r for r in rows if r["wireless"] == "model1"]
+        for row in model1:
+            assert row["aggregator_norm"] == pytest.approx(1.0)
+        model3 = [r for r in rows if r["wireless"] == "model3"]
+        for row in model3:
+            # Cheaper radio -> aggregator engine lifetime improves vs model1.
+            assert row["aggregator_norm"] > 1.5
+
+    def test_fig12_cross_wins_every_case(self, ctx):
+        for row in fig12_rows(ctx):
+            best_single = max(row["aggregator_hours"], row["sensor_hours"])
+            assert row["cross_hours"] >= 0.999 * best_single
+
+
+class TestBreakdownFigures:
+    def test_fig10_breakdown_sums(self, ctx):
+        for row in fig10_rows(ctx):
+            assert row["total_ms"] == pytest.approx(
+                row["front_ms"] + row["wireless_ms"] + row["back_ms"]
+            )
+
+    def test_fig10_aggregator_engine_all_wireless_and_back(self, ctx):
+        for row in fig10_rows(ctx):
+            if row["engine"] == "A":
+                assert row["front_ms"] == 0.0
+            if row["engine"] == "S":
+                assert row["back_ms"] == 0.0
+
+    def test_fig11_breakdown_sums(self, ctx):
+        for row in fig11_rows(ctx):
+            assert row["total_uj"] == pytest.approx(
+                row["compute_uj"] + row["wireless_uj"]
+            )
+
+    def test_fig11_aggregator_engine_is_pure_wireless(self, ctx):
+        for row in fig11_rows(ctx):
+            if row["engine"] == "A":
+                assert row["compute_uj"] == 0.0
+
+    def test_fig13_cross_never_heavier_than_aggregator(self, ctx):
+        for row in fig13_rows(ctx):
+            assert row["cross_over_aggregator"] <= 1.0 + 1e-9
+
+
+class TestHeadline:
+    def test_summary_fields_and_bounds(self, ctx):
+        summary = headline_summary(ctx, nodes=("90nm",))
+        assert summary["battery_x_vs_aggregator"] >= 1.0
+        assert summary["battery_x_vs_sensor"] >= 1.0
+        assert summary["delay_reduction_vs_aggregator_pct"] > 0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestXProSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return XProSystem.for_case("C1", n_segments=48, training=TINY)
+
+    def test_partition_and_metrics_exposed(self, system):
+        assert len(system.partition.in_sensor) >= 0
+        assert system.metrics.sensor_total_j > 0
+
+    def test_classify_matches_monolithic(self, system):
+        seg = system.dataset.segments[0]
+        assert system.classify(seg) == system.topology.classify(seg)
+
+    def test_accuracy_above_chance(self, system):
+        assert system.accuracy() > 0.5

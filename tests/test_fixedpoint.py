@@ -1,0 +1,135 @@
+"""Unit and property tests for the Q16.16 fixed-point number system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.fixedpoint import FixedPoint, FixedPointFormat, Q16_16, quantize_array
+from repro.errors import ConfigurationError
+
+#: Safe value range for arithmetic property tests (products stay in range).
+SAFE = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestFormat:
+    def test_q16_16_shape(self):
+        assert Q16_16.total_bits == 32
+        assert Q16_16.scale == 65536
+        assert Q16_16.resolution == pytest.approx(1.0 / 65536)
+
+    def test_value_bounds(self):
+        assert Q16_16.max_value == pytest.approx(32768.0, abs=1e-3)
+        assert Q16_16.min_value == -32768.0
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(integer_bits=0, fraction_bits=16)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(integer_bits=16, fraction_bits=-1)
+
+    def test_saturate_clamps(self):
+        assert Q16_16.saturate(Q16_16.max_raw + 10) == Q16_16.max_raw
+        assert Q16_16.saturate(Q16_16.min_raw - 10) == Q16_16.min_raw
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Q16_16.from_float(float("nan"))
+
+
+class TestScalarArithmetic:
+    def test_exact_halves(self):
+        assert float(FixedPoint(1.5) + FixedPoint(2.25)) == 3.75
+        assert float(FixedPoint(1.5) * FixedPoint(2.0)) == 3.0
+        assert float(FixedPoint(3.0) / FixedPoint(2.0)) == 1.5
+
+    def test_mixed_operand_coercion(self):
+        assert float(FixedPoint(1.0) + 2) == 3.0
+        assert float(2 * FixedPoint(1.5)) == 3.0
+        assert float(4 - FixedPoint(1.5)) == 2.5
+        assert float(3 / FixedPoint(2.0)) == 1.5
+
+    def test_format_mixing_rejected(self):
+        other = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        with pytest.raises(ConfigurationError):
+            FixedPoint(1.0) + FixedPoint(1.0, other)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FixedPoint(1.0) / FixedPoint(0.0)
+
+    def test_saturating_add(self):
+        big = FixedPoint(30000.0)
+        assert float(big + big) == pytest.approx(Q16_16.max_value, abs=1e-3)
+
+    def test_negation_and_abs(self):
+        x = FixedPoint(-2.5)
+        assert float(-x) == 2.5
+        assert float(abs(x)) == 2.5
+
+    def test_comparisons(self):
+        assert FixedPoint(1.0) < FixedPoint(2.0)
+        assert FixedPoint(2.0) >= FixedPoint(2.0)
+        assert FixedPoint(1.0) == 1.0
+
+    def test_sqrt_exact_squares(self):
+        assert float(FixedPoint(4.0).sqrt()) == pytest.approx(2.0, abs=1e-4)
+        assert float(FixedPoint(0.0).sqrt()) == 0.0
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPoint(-1.0).sqrt()
+
+    def test_repr_mentions_format(self):
+        assert "Q16.16" in repr(FixedPoint(1.0))
+
+    def test_from_raw_roundtrip(self):
+        x = FixedPoint.from_raw(65536)
+        assert float(x) == 1.0 and x.raw == 65536
+
+
+class TestProperties:
+    @given(SAFE)
+    @settings(max_examples=100)
+    def test_roundtrip_within_resolution(self, value):
+        assert abs(float(FixedPoint(value)) - value) <= Q16_16.resolution
+
+    @given(SAFE, SAFE)
+    @settings(max_examples=100)
+    def test_addition_commutes(self, a, b):
+        assert FixedPoint(a) + FixedPoint(b) == FixedPoint(b) + FixedPoint(a)
+
+    @given(SAFE, SAFE)
+    @settings(max_examples=100)
+    def test_addition_matches_float(self, a, b):
+        total = float(FixedPoint(a) + FixedPoint(b))
+        assert abs(total - (a + b)) <= 2 * Q16_16.resolution
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=100)
+    def test_sqrt_squares_back(self, value):
+        root = FixedPoint(value).sqrt()
+        assert abs(float(root) ** 2 - value) <= 0.05 * max(value, 1.0)
+
+    @given(SAFE)
+    @settings(max_examples=100)
+    def test_values_stay_in_range(self, value):
+        x = FixedPoint(value) * FixedPoint(value)
+        assert Q16_16.min_value <= float(x) <= Q16_16.max_value
+
+
+class TestQuantizeArray:
+    def test_matches_scalar_path(self, rng):
+        values = rng.uniform(-50, 50, size=64)
+        vector = quantize_array(values)
+        scalars = np.array([float(FixedPoint(v)) for v in values])
+        assert np.allclose(vector, scalars)
+
+    def test_saturates(self):
+        out = quantize_array(np.array([1e9, -1e9]))
+        assert out[0] == pytest.approx(Q16_16.max_value, abs=1e-3)
+        assert out[1] == Q16_16.min_value
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_array(np.array([np.nan]))

@@ -1,0 +1,150 @@
+"""Tests for power gating, lossy links, topology rendering, serialization."""
+
+import pytest
+
+from repro.cells.render import render_cut_summary, render_topology
+from repro.core.partition import Partition
+from repro.core.serialize import load_partition, partition_to_dict, save_partition
+from repro.errors import ConfigurationError
+from repro.hw.power_gating import (
+    DEFAULT_POWER_GATING,
+    PowerGatingModel,
+    gating_overhead_report,
+)
+from repro.hw.wireless import WirelessLink
+
+
+class TestPowerGating:
+    def test_overhead_is_very_limited(self, tiny_topology, energy_lib_90):
+        # The paper's §4.3 claim: gating overhead does not affect the
+        # conclusions.  With the default model it stays in the low percent.
+        report = gating_overhead_report(tiny_topology, energy_lib_90)
+        assert 0.0 < report["energy_overhead_pct"] < 3.0
+        assert report["wake_energy_j"] < 0.03 * report["base_energy_j"]
+
+    def test_delay_overhead_scales_with_depth(self, tiny_topology, energy_lib_90):
+        shallow = gating_overhead_report(
+            tiny_topology, energy_lib_90, PowerGatingModel(wake_cycles=1)
+        )
+        deep = gating_overhead_report(
+            tiny_topology, energy_lib_90, PowerGatingModel(wake_cycles=4)
+        )
+        assert deep["delay_overhead_cycles"] == 4 * shallow["delay_overhead_cycles"]
+
+    def test_wake_energy_proportional(self):
+        model = PowerGatingModel(wake_energy_fraction=0.02)
+        assert model.wake_energy_j(1e-9) == pytest.approx(2e-11)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerGatingModel(wake_energy_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            PowerGatingModel(wake_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            PowerGatingModel(sleep_leak_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_POWER_GATING.wake_energy_j(-1.0)
+
+
+class TestLossyLink:
+    def test_zero_loss_is_identity(self):
+        clean = WirelessLink("model2")
+        assert clean.expected_transmissions == 1.0
+
+    def test_energy_scales_with_expected_retries(self):
+        clean = WirelessLink("model2")
+        lossy = WirelessLink("model2", loss_rate=0.5)
+        assert lossy.expected_transmissions == pytest.approx(2.0)
+        assert lossy.tx_energy(10, 16) == pytest.approx(2 * clean.tx_energy(10, 16))
+        assert lossy.rx_energy(10, 16) == pytest.approx(2 * clean.rx_energy(10, 16))
+        assert lossy.transfer_delay(10, 16) == pytest.approx(
+            2 * clean.transfer_delay(10, 16)
+        )
+
+    def test_loss_shifts_optimal_cut_toward_sensor(
+        self, tiny_topology, energy_lib_90, cpu_model
+    ):
+        """With an unreliable channel, transmitting gets pricier, so the
+        optimal in-sensor part can only grow (or stay)."""
+        from repro.graph.stgraph import build_st_graph
+
+        clean_cut, _ = build_st_graph(
+            tiny_topology, energy_lib_90, WirelessLink("model2")
+        ).solve()
+        lossy_cut, _ = build_st_graph(
+            tiny_topology, energy_lib_90, WirelessLink("model2", loss_rate=0.6)
+        ).solve()
+        assert len(lossy_cut) >= len(clean_cut)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ConfigurationError):
+            WirelessLink("model2", loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            WirelessLink("model2", loss_rate=-0.1)
+
+
+class TestRendering:
+    def test_render_lists_every_cell(self, tiny_topology):
+        text = render_topology(tiny_topology)
+        for name in tiny_topology.cells:
+            assert name in text
+        assert "RESULT" in text
+
+    def test_partition_overlay(self, tiny_topology):
+        some = frozenset(list(tiny_topology.cells)[:3])
+        text = render_topology(tiny_topology, in_sensor=some)
+        assert "[S]" in text and "[A]" in text
+        assert f"cut: {len(some)} in-sensor" in text
+
+    def test_cut_summary_counts(self, tiny_topology):
+        all_cells = frozenset(tiny_topology.cells)
+        text = render_cut_summary(tiny_topology, all_cells)
+        # Every module row reports zero aggregator-side cells.
+        for line in text.splitlines()[1:]:
+            assert line.rstrip().endswith("0")
+
+
+class TestSerialization:
+    def test_round_trip(self, tiny_topology, tmp_path):
+        partition = Partition.of(list(tiny_topology.cells)[:5], label="x")
+        path = tmp_path / "cut.json"
+        save_partition(path, partition)
+        loaded = load_partition(path, topology=tiny_topology)
+        assert loaded.in_sensor == partition.in_sensor
+        assert loaded.label == "x"
+
+    def test_metrics_embedded(self, tiny_topology, energy_lib_90, link_model2,
+                              cpu_model, tmp_path):
+        from repro.sim.evaluate import evaluate_partition
+
+        partition = Partition.of([])
+        metrics = evaluate_partition(
+            tiny_topology, partition.in_sensor, energy_lib_90, link_model2, cpu_model
+        )
+        payload = partition_to_dict(partition, metrics)
+        assert payload["metrics"]["sensor_total_j"] == pytest.approx(
+            metrics.sensor_total_j
+        )
+        path = tmp_path / "cut.json"
+        save_partition(path, partition, metrics)
+        assert load_partition(path).in_sensor == frozenset()
+
+    def test_unknown_cells_rejected_on_load(self, tiny_topology, tmp_path):
+        path = tmp_path / "cut.json"
+        save_partition(path, Partition.of(["ghost"]))
+        with pytest.raises(ConfigurationError):
+            load_partition(path, topology=tiny_topology)
+
+    def test_malformed_files_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(ConfigurationError):
+            load_partition(bad)
+        bad.write_text('{"format_version": 99, "in_sensor": []}')
+        with pytest.raises(ConfigurationError):
+            load_partition(bad)
+        bad.write_text('{"format_version": 1, "in_sensor": "oops"}')
+        with pytest.raises(ConfigurationError):
+            load_partition(bad)
+        with pytest.raises(ConfigurationError):
+            load_partition(tmp_path / "missing.json")

@@ -1,0 +1,58 @@
+"""Property tests on the generator's constraint behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.errors import InfeasibleConstraintError
+
+
+@pytest.fixture(scope="module")
+def generator(request):
+    return AutomaticXProGenerator(
+        request.getfixturevalue("tiny_topology"),
+        request.getfixturevalue("energy_lib_90"),
+        request.getfixturevalue("link_model2"),
+        request.getfixturevalue("cpu_model"),
+    )
+
+
+class TestConstraintMonotonicity:
+    def test_energy_non_increasing_in_delay_budget(self, generator):
+        """A looser real-time budget can only help (or not hurt)."""
+        refs = generator.reference_metrics()
+        base = min(m.delay_total_s for m in refs.values())
+        energies = []
+        for factor in (0.9, 1.0, 1.5, 3.0, 10.0):
+            try:
+                result = generator.generate(delay_limit_s=base * factor)
+            except InfeasibleConstraintError:
+                continue
+            energies.append(result.metrics.sensor_total_j)
+        assert len(energies) >= 2
+        for tighter, looser in zip(energies, energies[1:]):
+            assert looser <= tighter + 1e-15
+
+    @given(st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=12, deadline=None)
+    def test_any_feasible_limit_is_respected(self, generator, factor):
+        refs = generator.reference_metrics()
+        limit = factor * min(m.delay_total_s for m in refs.values())
+        try:
+            result = generator.generate(delay_limit_s=limit)
+        except InfeasibleConstraintError:
+            return
+        assert result.metrics.delay_total_s <= limit * (1 + 1e-9)
+
+    def test_unconstrained_is_lower_bound(self, generator):
+        free = generator.generate(use_paper_limit=False).metrics.sensor_total_j
+        constrained = generator.generate().metrics.sensor_total_j
+        assert free <= constrained + 1e-15
+
+    def test_paper_limit_always_feasible(self, generator):
+        # Eq. 4's limit admits at least one single-end engine by
+        # construction, so generate() must never raise.
+        result = generator.generate()
+        assert result.metrics.delay_total_s <= result.delay_limit_s * (1 + 1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the heuristic partitioner baselines."""
+
+import pytest
+
+from repro.core.generator import AutomaticXProGenerator
+from repro.core.heuristics import greedy_descent, simulated_annealing
+from repro.errors import ConfigurationError
+from repro.sim.evaluate import evaluate_partition
+
+
+@pytest.fixture(scope="module")
+def env(request):
+    topo = request.getfixturevalue("tiny_topology")
+    lib = request.getfixturevalue("energy_lib_90")
+    link = request.getfixturevalue("link_model2")
+    cpu = request.getfixturevalue("cpu_model")
+    return topo, lib, link, cpu
+
+
+def _energy(env, in_sensor):
+    topo, lib, link, cpu = env
+    return evaluate_partition(topo, in_sensor, lib, link, cpu).sensor_total_j
+
+
+class TestGreedyDescent:
+    def test_result_is_local_optimum(self, env):
+        topo, lib, link, cpu = env
+        result = greedy_descent(topo, lib, link, cpu)
+        base = _energy(env, result)
+        for name in topo.cells:
+            flipped = result - {name} if name in result else result | {name}
+            assert _energy(env, flipped) >= base - 1e-18
+
+    def test_never_worse_than_seed(self, env):
+        topo, lib, link, cpu = env
+        seed = frozenset(topo.cells)
+        result = greedy_descent(topo, lib, link, cpu, seed_partition=seed)
+        assert _energy(env, result) <= _energy(env, seed) + 1e-18
+
+    def test_min_cut_never_loses_to_greedy(self, env):
+        topo, lib, link, cpu = env
+        generator = AutomaticXProGenerator(topo, lib, link, cpu)
+        optimal = generator.evaluate(generator.min_cut_partition().in_sensor)
+        greedy = _energy(env, greedy_descent(topo, lib, link, cpu))
+        assert optimal.sensor_total_j <= greedy + 1e-15
+
+
+class TestSimulatedAnnealing:
+    def test_min_cut_never_loses_to_annealing(self, env):
+        topo, lib, link, cpu = env
+        generator = AutomaticXProGenerator(topo, lib, link, cpu)
+        optimal = generator.evaluate(generator.min_cut_partition().in_sensor)
+        annealed = _energy(
+            env, simulated_annealing(topo, lib, link, cpu, n_steps=300, seed=1)
+        )
+        assert optimal.sensor_total_j <= annealed + 1e-15
+
+    def test_annealing_improves_on_all_in_sensor_when_possible(self, env):
+        topo, lib, link, cpu = env
+        result = simulated_annealing(topo, lib, link, cpu, n_steps=300, seed=1)
+        assert _energy(env, result) <= _energy(env, frozenset(topo.cells)) + 1e-18
+
+    def test_invalid_steps(self, env):
+        topo, lib, link, cpu = env
+        with pytest.raises(ConfigurationError):
+            simulated_annealing(topo, lib, link, cpu, n_steps=0)

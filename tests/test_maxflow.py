@@ -1,0 +1,139 @@
+"""Tests for the Dinic max-flow / min-cut solver."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.maxflow import INFINITY, FlowNetwork
+
+
+def _brute_force_min_cut(nodes, edges, source, sink):
+    """Minimum cut by enumerating all source-side subsets."""
+    others = [n for n in nodes if n not in (source, sink)]
+    best = float("inf")
+    for r in range(len(others) + 1):
+        for subset in combinations(others, r):
+            side = set(subset) | {source}
+            capacity = sum(c for u, v, c in edges if u in side and v not in side)
+            best = min(best, capacity)
+    return best
+
+
+class TestClassicNetworks:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 5.0)
+        assert net.max_flow("s", "t").max_flow == 5.0
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10.0)
+        net.add_edge("a", "t", 3.0)
+        result = net.max_flow("s", "t")
+        assert result.max_flow == 3.0
+        assert ("a", "t", 3.0) in result.cut_edges
+
+    def test_parallel_paths_sum(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4.0)
+        net.add_edge("a", "t", 4.0)
+        net.add_edge("s", "b", 6.0)
+        net.add_edge("b", "t", 6.0)
+        assert net.max_flow("s", "t").max_flow == 10.0
+
+    def test_clrs_example(self):
+        # The textbook network with max flow 23.
+        net = FlowNetwork()
+        for u, v, c in [
+            ("s", "v1", 16), ("s", "v2", 13), ("v1", "v3", 12), ("v2", "v1", 4),
+            ("v2", "v4", 14), ("v3", "v2", 9), ("v3", "t", 20), ("v4", "v3", 7),
+            ("v4", "t", 4),
+        ]:
+            net.add_edge(u, v, float(c))
+        assert net.max_flow("s", "t").max_flow == 23.0
+
+    def test_disconnected_zero_flow(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3.0)
+        net.add_edge("b", "t", 3.0)
+        result = net.max_flow("s", "t")
+        assert result.max_flow == 0.0
+        assert "s" in result.source_side and "t" not in result.source_side
+
+    def test_infinite_edge_never_cut(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "b", INFINITY)
+        net.add_edge("b", "t", 7.0)
+        result = net.max_flow("s", "t")
+        assert result.max_flow == 5.0
+        assert all(c != INFINITY for _, _, c in result.cut_edges)
+
+    def test_source_side_contains_source(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1.0)
+        result = net.max_flow("s", "t")
+        assert "s" in result.source_side
+        assert "t" not in result.source_side
+
+    def test_cut_edges_sum_to_flow(self):
+        net = FlowNetwork()
+        for u, v, c in [("s", "a", 3), ("s", "b", 2), ("a", "t", 2), ("b", "t", 3)]:
+            net.add_edge(u, v, float(c))
+        result = net.max_flow("s", "t")
+        assert sum(c for _, _, c in result.cut_edges) == pytest.approx(
+            result.max_flow
+        )
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowNetwork().add_edge("a", "b", -1.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowNetwork().add_edge("a", "a", 1.0)
+
+    def test_unknown_terminals_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(ConfigurationError):
+            net.max_flow("a", "z")
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(ConfigurationError):
+            net.max_flow("a", "a")
+
+    def test_edge_list_reports_forward_edges(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 2.5)
+        assert net.edge_list() == [("a", "b", 2.5)]
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 20)),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_exhaustive_min_cut(self, raw_edges):
+        edges = [(u, v, float(c)) for u, v, c in raw_edges if u != v]
+        if not edges:
+            return
+        nodes = sorted({n for u, v, _ in edges for n in (u, v)} | {0, 5})
+        net = FlowNetwork()
+        net._node(0), net._node(5)  # ensure terminals exist
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+        result = net.max_flow(0, 5)
+        expected = _brute_force_min_cut(nodes, edges, 0, 5)
+        assert result.max_flow == pytest.approx(expected)

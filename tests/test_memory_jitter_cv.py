@@ -1,0 +1,127 @@
+"""Tests: SRAM model, jittered DES percentiles, CV member selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.cuts import aggregator_cut, sensor_cut
+from repro.hw.memory import WORD_BYTES, memory_report
+from repro.ml.subspace import RandomSubspaceClassifier
+from repro.sim.evaluate import evaluate_partition
+from repro.sim.simulator import CrossEndSimulator
+
+
+class TestMemoryModel:
+    def test_full_topology_report(self, tiny_topology):
+        report = memory_report(tiny_topology)
+        assert report.acquisition_bytes == 2 * tiny_topology.segment_length * WORD_BYTES
+        assert report.cell_buffer_bytes > 0
+        assert report.total_bytes == (
+            report.acquisition_bytes + report.cell_buffer_bytes
+        )
+        assert set(report.per_cell_bytes) == set(tiny_topology.cells)
+
+    def test_fits_wearable_sram_budget(self, tiny_topology):
+        # A wearable MCU provisions tens of KiB; the whole engine must fit.
+        assert memory_report(tiny_topology).total_kib < 64.0
+
+    def test_subset_needs_less(self, tiny_topology):
+        some = frozenset(list(tiny_topology.cells)[:4])
+        assert (
+            memory_report(tiny_topology, in_sensor=some).cell_buffer_bytes
+            < memory_report(tiny_topology).cell_buffer_bytes
+        )
+
+    def test_dwt_cells_have_biggest_buffers(self, tiny_topology):
+        report = memory_report(tiny_topology)
+        dwt1 = report.per_cell_bytes.get("dwt_l1")
+        if dwt1 is not None:
+            feature_cells = [
+                b
+                for n, b in report.per_cell_bytes.items()
+                if "@seg" in n
+            ]
+            assert dwt1 > max(feature_cells)
+
+    def test_unknown_cells_rejected(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            memory_report(tiny_topology, in_sensor=frozenset({"ghost"}))
+
+
+class TestJitteredSimulation:
+    @pytest.fixture(scope="class")
+    def metrics(self, request):
+        topo = request.getfixturevalue("tiny_topology")
+        return evaluate_partition(
+            topo,
+            aggregator_cut(topo),
+            request.getfixturevalue("energy_lib_90"),
+            request.getfixturevalue("link_model2"),
+            request.getfixturevalue("cpu_model"),
+        )
+
+    def test_zero_jitter_is_deterministic(self, metrics):
+        a = CrossEndSimulator(metrics, 0.5).run(20)
+        b = CrossEndSimulator(metrics, 0.5).run(20)
+        assert a.mean_latency_s == b.mean_latency_s
+        assert a.latency_percentile(99) == pytest.approx(a.mean_latency_s)
+
+    def test_jitter_creates_tail(self, metrics):
+        report = CrossEndSimulator(metrics, 0.5, jitter_sigma=0.5, seed=7).run(400)
+        assert report.latency_percentile(99) > report.latency_percentile(50)
+
+    def test_jitter_preserves_mean_roughly(self, metrics):
+        clean = CrossEndSimulator(metrics, 0.5).run(50)
+        noisy = CrossEndSimulator(metrics, 0.5, jitter_sigma=0.3, seed=7).run(2000)
+        assert noisy.mean_latency_s == pytest.approx(
+            clean.mean_latency_s, rel=0.15
+        )
+
+    def test_jitter_reproducible_by_seed(self, metrics):
+        a = CrossEndSimulator(metrics, 0.5, jitter_sigma=0.4, seed=5).run(50)
+        b = CrossEndSimulator(metrics, 0.5, jitter_sigma=0.4, seed=5).run(50)
+        assert a.max_latency_s == b.max_latency_s
+
+    def test_validation(self, metrics):
+        with pytest.raises(ConfigurationError):
+            CrossEndSimulator(metrics, 0.5, jitter_sigma=-0.1)
+        report = CrossEndSimulator(metrics, 0.5).run(5)
+        with pytest.raises(ConfigurationError):
+            report.latency_percentile(101)
+
+
+class TestCVMemberSelection:
+    def _data(self, rng, n=60):
+        y = rng.integers(0, 2, size=n)
+        X = rng.normal(size=(n, 10))
+        X[:, :3] += 2.0 * y[:, None]
+        return X, y
+
+    def test_cv_protocol_trains(self, rng):
+        X, y = self._data(rng)
+        clf = RandomSubspaceClassifier(
+            10, subspace_dim=4, n_draws=6, keep_fraction=0.34, cv_folds=5, seed=2
+        ).fit(X, y)
+        assert len(clf.members) == 2
+        assert float(np.mean(clf.predict(X) == y)) > 0.8
+
+    def test_cv_scores_are_fold_means(self, rng):
+        X, y = self._data(rng)
+        clf = RandomSubspaceClassifier(
+            10, subspace_dim=4, n_draws=4, keep_fraction=0.5, cv_folds=4, seed=2
+        ).fit(X, y)
+        for member in clf.members:
+            assert 0.0 <= member.validation_accuracy <= 1.0
+
+    def test_cv_members_refit_on_all_rows(self, rng):
+        X, y = self._data(rng, n=40)
+        clf = RandomSubspaceClassifier(
+            10, subspace_dim=4, n_draws=4, keep_fraction=0.5, cv_folds=4, seed=2
+        ).fit(X, y)
+        # Refit on all 40 rows: support vectors may reference any row.
+        for member in clf.members:
+            assert member.classifier.n_support_vectors <= 40
+
+    def test_invalid_folds(self):
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceClassifier(10, 4, cv_folds=1)

@@ -1,0 +1,163 @@
+"""Tests for the multi-class extension (paper §5.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CrossEndEngine, argmax_decode
+from repro.core.generator import AutomaticXProGenerator
+from repro.core.layout import FeatureLayout
+from repro.core.multiclass import build_multiclass_topology, classify_multiclass
+from repro.core.partition import Partition
+from repro.dsp.normalize import MinMaxNormalizer
+from repro.errors import ConfigurationError, TrainingError
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.ml.multiclass import OneVsRestSubspaceClassifier
+from repro.signals.datasets import load_multiclass_emg
+from repro.signals.waveforms import MultiClassEMGGenerator
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small trained 3-class system on multi-class EMG."""
+    dataset = load_multiclass_emg(n_classes=3, n_segments=90)
+    layout = FeatureLayout(segment_length=dataset.segment_length)
+    features = layout.extract_matrix(dataset.segments)
+    normalizer = MinMaxNormalizer().fit(features)
+    X = normalizer.transform(features)
+    classifier = OneVsRestSubspaceClassifier(
+        n_features=layout.n_features,
+        n_classes=3,
+        subspace_dim=6,
+        n_draws=6,
+        keep_fraction=0.34,
+        seed=4,
+    ).fit(X, dataset.labels)
+    lib = EnergyLibrary("90nm")
+    topology = build_multiclass_topology(layout, classifier, normalizer, lib)
+    return dataset, layout, normalizer, classifier, topology, lib
+
+
+class TestMultiClassGenerator:
+    def test_class_archetypes_differ(self, rng):
+        gen = MultiClassEMGGenerator(132, n_classes=6)
+        means = []
+        for label in range(6):
+            segs = np.stack([np.abs(gen.generate(rng, label)) for _ in range(30)])
+            means.append(segs.mean(axis=0))
+        # Envelope means of different classes are not all alike.
+        diffs = [
+            np.abs(means[i] - means[j]).mean()
+            for i in range(6)
+            for j in range(i + 1, 6)
+        ]
+        assert min(diffs) > 0.01
+
+    def test_balanced_batch(self, rng):
+        gen = MultiClassEMGGenerator(64, n_classes=4)
+        _, labels = gen.generate_batch(rng, 40)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.tolist() == [10, 10, 10, 10]
+
+    def test_label_bounds(self, rng):
+        gen = MultiClassEMGGenerator(64, n_classes=3)
+        with pytest.raises(ConfigurationError):
+            gen.generate(rng, 3)
+
+    def test_class_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MultiClassEMGGenerator(64, n_classes=1)
+        with pytest.raises(ConfigurationError):
+            MultiClassEMGGenerator(64, n_classes=7)
+
+    def test_dataset_loader(self):
+        ds = load_multiclass_emg(n_classes=4, n_segments=40)
+        assert set(np.unique(ds.labels)) == {0, 1, 2, 3}
+        assert ds.segment_length == 132
+
+
+class TestOneVsRestClassifier:
+    def test_learns_above_chance(self, trained):
+        dataset, layout, normalizer, classifier, *_ = trained
+        X = normalizer.transform(layout.extract_matrix(dataset.segments))
+        acc = float(np.mean(classifier.predict(X) == dataset.labels))
+        assert acc > 1.0 / 3 + 0.15
+
+    def test_class_scores_shape(self, trained):
+        dataset, layout, normalizer, classifier, *_ = trained
+        X = normalizer.transform(layout.extract_matrix(dataset.segments[:5]))
+        assert classifier.class_scores(X).shape == (5, 3)
+
+    def test_used_features_union(self, trained):
+        classifier = trained[3]
+        per_class = {
+            i for e in classifier.per_class for i in e.used_feature_indices()
+        }
+        assert set(classifier.used_feature_indices()) == per_class
+
+    def test_validation_errors(self, rng):
+        clf = OneVsRestSubspaceClassifier(8, 3, subspace_dim=2, n_draws=2)
+        with pytest.raises(ConfigurationError):
+            clf.fit(rng.normal(size=(10, 8)), np.array([0, 1, 2, 3] * 2 + [0, 1]))
+        with pytest.raises(TrainingError):
+            clf.fit(rng.normal(size=(10, 8)), np.zeros(10, dtype=int))
+        with pytest.raises(ConfigurationError):
+            OneVsRestSubspaceClassifier(8, 1)
+        with pytest.raises(ConfigurationError):
+            clf.predict(np.zeros((1, 8)))
+
+
+class TestMultiClassTopology:
+    def test_structure(self, trained):
+        classifier, topology = trained[3], trained[4]
+        svm_cells = [n for n in topology.cells if n.startswith("svm_c")]
+        fusion_cells = [n for n in topology.cells if n.startswith("fusion_c")]
+        assert len(svm_cells) == classifier.total_members
+        assert len(fusion_cells) == 3
+        assert topology.result.cell == "argmax"
+
+    def test_monolithic_matches_software(self, trained):
+        dataset, layout, normalizer, classifier, topology, _ = trained
+        X = normalizer.transform(layout.extract_matrix(dataset.segments[:15]))
+        soft = classifier.predict(X)
+        hard = [classify_multiclass(topology, s) for s in dataset.segments[:15]]
+        assert list(soft) == hard
+
+    def test_generator_applies_unchanged(self, trained):
+        *_, topology, lib = trained
+        generator = AutomaticXProGenerator(
+            topology, lib, WirelessLink("model2"), AggregatorCPU()
+        )
+        result = generator.generate()
+        refs = generator.reference_metrics()
+        limit = result.delay_limit_s
+        for m in refs.values():
+            if m.delay_total_s <= limit * (1 + 1e-9):
+                assert result.metrics.sensor_total_j <= m.sensor_total_j + 1e-15
+
+    def test_cross_end_engine_with_argmax_decode(self, trained):
+        dataset, topology, lib = trained[0], trained[4], trained[5]
+        generator = AutomaticXProGenerator(
+            topology, lib, WirelessLink("model2"), AggregatorCPU()
+        )
+        engine = CrossEndEngine(
+            topology, generator.generate().partition, decode=argmax_decode
+        )
+        for seg in dataset.segments[:10]:
+            assert engine.classify(seg).prediction == classify_multiclass(
+                topology, seg
+            )
+
+    def test_random_partitions_transparent(self, trained, rng):
+        dataset, topology = trained[0], trained[4]
+        names = sorted(topology.cells)
+        for _ in range(5):
+            subset = frozenset(n for n in names if rng.random() < 0.5)
+            engine = CrossEndEngine(
+                topology, Partition(in_sensor=subset), decode=argmax_decode
+            )
+            seg = dataset.segments[int(rng.integers(len(dataset.segments)))]
+            assert engine.classify(seg).prediction == classify_multiclass(
+                topology, seg
+            )

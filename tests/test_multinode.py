@@ -1,0 +1,133 @@
+"""Tests for the multi-sensor BSN extension (paper §5.7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph.cuts import aggregator_cut, sensor_cut
+from repro.sim.evaluate import evaluate_partition
+from repro.sim.lifetime import battery_lifetime_hours
+from repro.sim.multinode import BSNNode, MultiNodeBSN
+
+
+@pytest.fixture(scope="module")
+def bsn_nodes(request):
+    topo = request.getfixturevalue("tiny_topology")
+    lib = request.getfixturevalue("energy_lib_90")
+    link = request.getfixturevalue("link_model2")
+    cpu = request.getfixturevalue("cpu_model")
+    sensor_metrics = evaluate_partition(topo, sensor_cut(topo), lib, link, cpu)
+    agg_metrics = evaluate_partition(topo, aggregator_cut(topo), lib, link, cpu)
+    return sensor_metrics, agg_metrics
+
+
+class TestReport:
+    def test_bsn_lifetime_is_min_over_nodes(self, bsn_nodes):
+        sensor_m, agg_m = bsn_nodes
+        bsn = MultiNodeBSN(
+            [
+                BSNNode("ecg", sensor_m, period_s=0.4),
+                BSNNode("emg", agg_m, period_s=0.3),
+            ]
+        )
+        report = bsn.report()
+        assert report.bsn_lifetime_h == min(report.node_lifetimes_h.values())
+        assert set(report.node_lifetimes_h) == {"ecg", "emg"}
+
+    def test_node_lifetime_matches_single_node_model(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        bsn = MultiNodeBSN([BSNNode("only", sensor_m, period_s=0.5)])
+        report = bsn.report()
+        assert report.node_lifetimes_h["only"] == pytest.approx(
+            battery_lifetime_hours(sensor_m.sensor_total_j, 0.5)
+        )
+
+    def test_tdma_utilisation_adds_up(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        one = MultiNodeBSN([BSNNode("a", agg_m, period_s=0.4)]).report()
+        two = MultiNodeBSN(
+            [BSNNode("a", agg_m, 0.4), BSNNode("b", agg_m, 0.4)]
+        ).report()
+        assert two.channel_utilisation == pytest.approx(2 * one.channel_utilisation)
+
+    def test_mimo_removes_contention(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        nodes = [BSNNode("a", agg_m, 0.4), BSNNode("b", agg_m, 0.4)]
+        tdma = MultiNodeBSN(nodes, protocol="tdma").report()
+        mimo = MultiNodeBSN(nodes, protocol="mimo").report()
+        assert mimo.worst_event_delay_s < tdma.worst_event_delay_s
+        assert mimo.channel_utilisation < tdma.channel_utilisation
+
+    def test_aggregator_power_accumulates(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        one = MultiNodeBSN([BSNNode("a", agg_m, 0.4)]).report()
+        three = MultiNodeBSN(
+            [BSNNode(f"n{i}", agg_m, 0.4) for i in range(3)]
+        ).report()
+        assert three.aggregator_power_w == pytest.approx(
+            3 * one.aggregator_power_w
+        )
+
+    def test_feasibility_flag(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        ok = MultiNodeBSN([BSNNode("a", agg_m, 0.4)])
+        assert ok.is_feasible()
+        # Cram enough raw-streaming nodes to exceed the channel.
+        n_over = int(0.4 / agg_m.delay_link_s) + 1
+        over = MultiNodeBSN(
+            [BSNNode(f"n{i}", agg_m, 0.4) for i in range(n_over)]
+        )
+        assert not over.is_feasible()
+
+
+class TestSimulation:
+    def test_underloaded_latency_matches_static(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        bsn = MultiNodeBSN([BSNNode("a", sensor_m, 0.5)])
+        latencies = bsn.simulate(20)
+        assert latencies["a"] == pytest.approx(sensor_m.delay_total_s)
+
+    def test_tdma_contention_raises_latency(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        nodes = [BSNNode(f"n{i}", agg_m, 0.5) for i in range(3)]
+        tdma = MultiNodeBSN(nodes, protocol="tdma").simulate(10)
+        mimo = MultiNodeBSN(nodes, protocol="mimo").simulate(10)
+        assert max(tdma.values()) >= max(mimo.values())
+
+    def test_overload_diverges(self, bsn_nodes):
+        _, agg_m = bsn_nodes
+        # ~2x channel overload so the backlog diverges quickly.
+        n_over = int(2 * 0.2 / agg_m.delay_link_s) + 2
+        bsn = MultiNodeBSN(
+            [BSNNode(f"n{i}", agg_m, 0.2) for i in range(n_over)]
+        )
+        with pytest.raises(SimulationError):
+            bsn.simulate(500)
+
+
+class TestValidation:
+    def test_empty_bsn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiNodeBSN([])
+
+    def test_duplicate_names_rejected(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        with pytest.raises(ConfigurationError):
+            MultiNodeBSN(
+                [BSNNode("x", sensor_m, 0.4), BSNNode("x", sensor_m, 0.4)]
+            )
+
+    def test_unknown_protocol_rejected(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        with pytest.raises(ConfigurationError):
+            MultiNodeBSN([BSNNode("a", sensor_m, 0.4)], protocol="csma")
+
+    def test_invalid_period_rejected(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        with pytest.raises(ConfigurationError):
+            BSNNode("a", sensor_m, period_s=0.0)
+
+    def test_invalid_event_count(self, bsn_nodes):
+        sensor_m, _ = bsn_nodes
+        bsn = MultiNodeBSN([BSNNode("a", sensor_m, 0.4)])
+        with pytest.raises(ConfigurationError):
+            bsn.simulate(0)

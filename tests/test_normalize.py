@@ -1,0 +1,83 @@
+"""Tests for the [0, 1] min-max feature normaliser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.normalize import MinMaxNormalizer
+from repro.errors import ConfigurationError
+
+MATRICES = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 30), st.integers(1, 8)),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=64),
+)
+
+
+class TestFitTransform:
+    def test_output_in_unit_range(self, rng):
+        X = rng.normal(size=(20, 4)) * 10
+        out = MinMaxNormalizer().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extremes_map_to_bounds(self):
+        X = np.array([[0.0, 10.0], [2.0, 30.0]])
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.allclose(out, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out = MinMaxNormalizer().fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_outliers_clipped(self):
+        norm = MinMaxNormalizer().fit(np.array([[0.0], [1.0]]))
+        assert norm.transform(np.array([[5.0]]))[0, 0] == 1.0
+        assert norm.transform(np.array([[-5.0]]))[0, 0] == 0.0
+
+    def test_1d_row_transform(self):
+        norm = MinMaxNormalizer().fit(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        row = norm.transform(np.array([1.0, 2.0]))
+        assert row.shape == (2,)
+        assert np.allclose(row, [0.5, 0.5])
+
+    def test_mins_ranges_exposed(self):
+        norm = MinMaxNormalizer().fit(np.array([[1.0, 2.0], [3.0, 8.0]]))
+        assert np.allclose(norm.mins, [1.0, 2.0])
+        assert np.allclose(norm.ranges, [2.0, 6.0])
+
+
+class TestErrors:
+    def test_use_before_fit(self):
+        with pytest.raises(ConfigurationError):
+            MinMaxNormalizer().transform(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            MinMaxNormalizer().mins
+
+    def test_fit_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            MinMaxNormalizer().fit(np.zeros(5))
+
+    def test_dimension_mismatch(self):
+        norm = MinMaxNormalizer().fit(np.zeros((3, 2)) + np.arange(3)[:, None])
+        with pytest.raises(ConfigurationError):
+            norm.transform(np.zeros((2, 5)))
+
+
+class TestProperties:
+    @given(MATRICES)
+    @settings(max_examples=60)
+    def test_training_data_always_in_unit_box(self, X):
+        out = MinMaxNormalizer().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @given(MATRICES)
+    @settings(max_examples=60)
+    def test_idempotent_on_training_extremes(self, X):
+        norm = MinMaxNormalizer().fit(X)
+        col_max = norm.transform(X).max(axis=0)
+        varying = norm.ranges != 1.0  # columns that actually vary
+        nonconstant = X.max(axis=0) > X.min(axis=0)
+        assert np.allclose(col_max[nonconstant], 1.0)

@@ -1,0 +1,94 @@
+"""Tests for the signal-quality index and acquisition gate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals.datasets import load_case
+from repro.signals.quality import QualityGate, SignalQualityIndex
+
+
+@pytest.fixture(scope="module")
+def sqi():
+    return SignalQualityIndex()
+
+
+class TestSignalQualityIndex:
+    def test_clean_biosignals_pass(self, sqi):
+        ds = load_case("C1", n_segments=20)
+        reports = [sqi.assess(seg) for seg in ds.segments]
+        accepted = sum(r.acceptable for r in reports)
+        assert accepted >= 18  # clean synthetic data passes essentially always
+
+    def test_saturated_segment_flagged(self, sqi, rng):
+        seg = rng.normal(size=128)
+        seg[10:40] = 40.0  # pinned at beyond-rail values
+        report = sqi.assess(seg)
+        assert "saturation" in report.flags
+        assert not report.acceptable
+
+    def test_flatline_flagged(self, sqi, rng):
+        seg = np.concatenate([rng.normal(size=30), np.full(98, 1.234)])
+        report = sqi.assess(seg)
+        assert "flatline" in report.flags
+
+    def test_impulse_artifact_flagged(self, sqi, rng):
+        seg = rng.normal(0, 0.5, size=128)
+        spike_positions = rng.choice(128, size=12, replace=False)
+        seg[spike_positions] = 25.0  # a motion-artifact burst
+        report = sqi.assess(seg)
+        assert "impulse" in report.flags
+
+    def test_dead_channel_flagged(self, sqi):
+        report = sqi.assess(np.full(64, 0.0001))
+        assert "dynamic_range" in report.flags or "flatline" in report.flags
+        assert not report.acceptable
+
+    def test_score_monotone_with_damage(self, sqi, rng):
+        clean = rng.normal(size=128)
+        damaged = clean.copy()
+        damaged[:32] = 40.0
+        assert sqi.assess(damaged).score < sqi.assess(clean).score
+
+    def test_score_in_unit_interval(self, sqi, rng):
+        for _ in range(10):
+            seg = rng.normal(size=64) * rng.uniform(0.001, 50)
+            assert 0.0 <= sqi.assess(seg).score <= 1.0
+
+    def test_validation(self, sqi):
+        with pytest.raises(ConfigurationError):
+            sqi.assess(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            sqi.assess(np.zeros(1))
+        with pytest.raises(ConfigurationError):
+            SignalQualityIndex(rail=0.0)
+
+
+class TestQualityGate:
+    def test_accept_mirrors_sqi(self, sqi, rng):
+        gate = QualityGate(sqi)
+        clean = rng.normal(size=128)
+        bad = np.full(128, 50.0)
+        assert gate.accept(clean)
+        assert not gate.accept(bad)
+
+    def test_gating_saves_energy(self, sqi):
+        gate = QualityGate(sqi, check_energy_j=5e-9)
+        engine = 1e-6
+        always = gate.expected_energy_j(engine, reject_rate=0.0)
+        gated = gate.expected_energy_j(engine, reject_rate=0.3)
+        assert gated < always
+        assert gated == pytest.approx(5e-9 + 0.7e-6)
+
+    def test_check_cost_is_marginal(self, sqi):
+        gate = QualityGate(sqi)
+        assert gate.expected_energy_j(1e-6, 0.0) < 1.01e-6
+
+    def test_validation(self, sqi):
+        gate = QualityGate(sqi)
+        with pytest.raises(ConfigurationError):
+            gate.expected_energy_j(-1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            gate.expected_energy_j(1e-6, 1.5)
+        with pytest.raises(ConfigurationError):
+            QualityGate(sqi, check_energy_j=-1.0)

@@ -1,0 +1,138 @@
+"""Tests for fixed-point-faithful execution and streaming features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.quantized import (
+    classify_quantized,
+    execute_quantized,
+    quantization_agreement,
+)
+from repro.dsp.features import (
+    crossing_count,
+    feature_vector,
+    kurtosis,
+    maximum,
+    mean,
+    minimum,
+    skewness,
+    standard_deviation,
+    variance,
+)
+from repro.dsp.fixedpoint import FixedPointFormat, Q16_16
+from repro.dsp.streaming import CrossingCounter, StreamingMoments
+from repro.errors import ConfigurationError
+
+SEGMENTS = arrays(
+    np.float64,
+    st.integers(4, 100),
+    elements=st.floats(min_value=-30, max_value=30, allow_nan=False, width=64),
+)
+
+
+class TestQuantizedExecution:
+    def test_values_lie_on_grid(self, tiny_topology, tiny_dataset):
+        values = execute_quantized(tiny_topology, tiny_dataset.segments[0])
+        for arr in values.values():
+            raw = arr * Q16_16.scale
+            assert np.allclose(raw, np.round(raw), atol=1e-6)
+
+    def test_decisions_survive_q16_16(self, tiny_topology, tiny_dataset):
+        agreement = quantization_agreement(
+            tiny_topology, tiny_dataset.segments[:30]
+        )
+        assert agreement >= 0.9
+
+    def test_coarse_format_degrades(self, tiny_topology, tiny_dataset):
+        # A brutal 4-fraction-bit grid should agree no better than Q16.16.
+        coarse = FixedPointFormat(integer_bits=16, fraction_bits=4)
+        fine = quantization_agreement(tiny_topology, tiny_dataset.segments[:20])
+        rough = quantization_agreement(
+            tiny_topology, tiny_dataset.segments[:20], fmt=coarse
+        )
+        assert rough <= fine + 1e-9
+
+    def test_classify_quantized_binary(self, tiny_topology, tiny_dataset):
+        assert classify_quantized(tiny_topology, tiny_dataset.segments[0]) in (0, 1)
+
+    def test_invalid_segment_rejected(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            execute_quantized(tiny_topology, np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            quantization_agreement(tiny_topology, np.zeros(7))
+
+
+class TestStreamingMoments:
+    @given(SEGMENTS)
+    @settings(max_examples=80)
+    def test_matches_batch_reference(self, seg):
+        acc = StreamingMoments()
+        acc.extend(seg)
+        out = acc.finalize()
+        assert out["max"] == maximum(seg)
+        assert out["min"] == minimum(seg)
+        assert out["mean"] == pytest.approx(mean(seg), abs=1e-9)
+        assert out["var"] == pytest.approx(variance(seg), abs=1e-6)
+        assert out["std"] == pytest.approx(standard_deviation(seg), abs=1e-6)
+        assert out["skew"] == pytest.approx(skewness(seg), abs=1e-4)
+        assert out["kurt"] == pytest.approx(kurtosis(seg), abs=1e-4)
+
+    @given(SEGMENTS, st.integers(1, 99))
+    @settings(max_examples=60)
+    def test_merge_equals_sequential(self, seg, cut_raw):
+        cut = cut_raw % len(seg) or 1
+        left = StreamingMoments()
+        left.extend(seg[:cut])
+        right = StreamingMoments()
+        right.extend(seg[cut:]) if cut < len(seg) else None
+        if right.count == 0:
+            return
+        merged = left.merge(right).finalize()
+        whole = StreamingMoments()
+        whole.extend(seg)
+        expected = whole.finalize()
+        for key, value in expected.items():
+            # Partial sums round differently than one sequential sum; the
+            # normalised ratios (skew/kurt) amplify that, so compare with a
+            # relative tolerance as well.
+            assert merged[key] == pytest.approx(value, rel=1e-3, abs=1e-6)
+
+    def test_incremental_count(self):
+        acc = StreamingMoments()
+        assert acc.count == 0
+        acc.update(1.0)
+        acc.update(2.0)
+        assert acc.count == 2
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingMoments().finalize()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingMoments().update(float("nan"))
+
+    def test_constant_stream_degenerate_moments(self):
+        acc = StreamingMoments()
+        acc.extend([3.5] * 20)
+        out = acc.finalize()
+        assert out["var"] == pytest.approx(0.0, abs=1e-9)
+        assert out["skew"] == 0.0 and out["kurt"] == 0.0
+
+
+class TestCrossingCounter:
+    @given(SEGMENTS, st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=60)
+    def test_matches_batch_for_fixed_level(self, seg, level):
+        counter = CrossingCounter(level)
+        counter.extend(seg)
+        assert counter.crossings == crossing_count(seg, level)
+
+    def test_incremental_updates(self):
+        counter = CrossingCounter(0.0)
+        for x in [1.0, -1.0, 1.0]:
+            counter.update(x)
+        assert counter.crossings == 2

@@ -1,0 +1,106 @@
+"""Tests for the markdown report generator and the extended CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import TrainingConfig
+from repro.eval.context import ExperimentContext
+from repro.eval.report import generate_report, write_report
+
+TINY = TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34, seed=9)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return ExperimentContext(n_segments=48, training=TINY)
+
+
+class TestReport:
+    def test_contains_every_section(self, tiny_ctx):
+        text = generate_report(tiny_ctx)
+        for marker in (
+            "Table 1",
+            "Figure 4",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+            "Figure 13",
+            "headline",
+        ):
+            assert marker in text, marker
+
+    def test_charts_toggle(self, tiny_ctx):
+        with_charts = generate_report(tiny_ctx, include_charts=True)
+        without = generate_report(tiny_ctx, include_charts=False)
+        assert "█" in with_charts
+        assert "█" not in without
+
+    def test_write_report(self, tiny_ctx, tmp_path):
+        target = write_report(tiny_ctx, tmp_path / "report.md")
+        assert target.exists()
+        assert "XPro reproduction" in target.read_text()
+
+
+class TestExtendedCLI:
+    def test_partition_render_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "cut.json"
+        code = main(
+            [
+                "partition",
+                "--case", "C1",
+                "--segments", "48",
+                "--draws", "6",
+                "--render",
+                "--save", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level 0" in out  # rendered topology
+        assert out_file.exists()
+
+    def test_report_command(self, capsys, tmp_path):
+        target = tmp_path / "r.md"
+        code = main(
+            ["report", "--output", str(target), "--segments", "48", "--draws", "6"]
+        )
+        assert code == 0
+        assert target.exists()
+
+
+class TestInspectCLI:
+    def test_inspect_command(self, capsys):
+        code = main(["inspect", "--case", "C1", "--segments", "48", "--draws", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "silicon area" in out
+        assert "sensor SRAM" in out
+        assert "gating overhead" in out
+
+
+class TestExtendedReport:
+    def test_extensions_section(self, tiny_ctx):
+        from repro.eval.report import generate_report
+
+        text = generate_report(tiny_ctx, include_extensions=True)
+        assert "Motivation" in text
+        assert "Feature-domain usage" in text
+
+
+class TestValidateCLI:
+    def test_validate_command_passes_on_tiny_config(self, capsys):
+        code = main(["validate", "--segments", "48", "--draws", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "claims hold" in out
+        assert "FAIL" not in out
+
+
+class TestCLIErrorHandling:
+    def test_library_errors_become_exit_code_2(self, capsys):
+        code = main(["partition", "--case", "ZZ", "--segments", "48", "--draws", "6"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err

@@ -1,0 +1,103 @@
+"""Tests for dataset file I/O (UCR format + NPZ interchange)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.errors import ConfigurationError
+from repro.signals.datasets import load_case
+from repro.signals.io import load_npz, load_ucr_file, save_npz
+
+
+def _write_ucr(path, segments, labels, sep=","):
+    lines = []
+    for label, seg in zip(labels, segments):
+        lines.append(sep.join([str(label)] + [f"{v:.6f}" for v in seg]))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestUCRLoader:
+    def test_round_trip_comma(self, tmp_path, rng):
+        segments = rng.normal(size=(10, 16))
+        labels = np.array([1, 2] * 5)
+        path = tmp_path / "toy_TRAIN"
+        _write_ucr(path, segments, labels)
+        ds = load_ucr_file(path, symbol="T1")
+        assert ds.segment_length == 16 and ds.n_segments == 10
+        assert set(np.unique(ds.labels)) == {0, 1}
+        assert np.allclose(ds.segments, segments, atol=1e-5)
+        # UCR labels 1/2 map to 0/1 in sorted order.
+        assert np.array_equal(ds.labels, labels - 1)
+
+    def test_tab_separated(self, tmp_path, rng):
+        segments = rng.normal(size=(4, 8))
+        labels = np.array([-1, 1, -1, 1])
+        path = tmp_path / "toy.tsv"
+        _write_ucr(path, segments, labels, sep="\t")
+        ds = load_ucr_file(path)
+        assert np.array_equal(ds.labels, [0, 1, 0, 1])
+
+    def test_custom_label_map(self, tmp_path, rng):
+        segments = rng.normal(size=(6, 8))
+        labels = np.array([1, 2, 3, 1, 2, 3])
+        path = tmp_path / "multi"
+        _write_ucr(path, segments, labels)
+        ds = load_ucr_file(path, label_map={1: 0, 2: 1, 3: 1})
+        assert np.array_equal(ds.labels, [0, 1, 1, 0, 1, 1])
+
+    def test_trained_pipeline_accepts_loaded_data(self, tmp_path):
+        # End-to-end: a real-format file flows through the training path.
+        source = load_case("C1", n_segments=48)
+        path = tmp_path / "c1_TRAIN"
+        _write_ucr(path, source.segments, source.labels + 1)
+        ds = load_ucr_file(path, symbol="C1x", modality="ecg")
+        engine = train_analytic_engine(
+            ds, TrainingConfig(subspace_dim=5, n_draws=6, keep_fraction=0.34)
+        )
+        assert engine.test_accuracy > 0.4
+
+    def test_errors(self, tmp_path, rng):
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(tmp_path / "missing")
+        empty = tmp_path / "empty"
+        empty.write_text("\n\n")
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(empty)
+        ragged = tmp_path / "ragged"
+        ragged.write_text("1,1.0,2.0\n2,1.0\n")
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(ragged)
+        short = tmp_path / "short"
+        short.write_text("1\n")
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(short)
+        multi = tmp_path / "multi"
+        _write_ucr(multi, rng.normal(size=(3, 4)), np.array([1, 2, 3]))
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(multi)  # 3 classes, no label_map
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(multi, label_map={1: 0, 2: 1})  # incomplete map
+        bad = tmp_path / "bad"
+        bad.write_text("1,abc,2\n")
+        with pytest.raises(ConfigurationError):
+            load_ucr_file(bad)
+
+
+class TestNPZInterchange:
+    def test_round_trip(self, tmp_path):
+        original = load_case("E1", n_segments=12)
+        path = tmp_path / "e1.npz"
+        save_npz(path, original)
+        restored = load_npz(path)
+        assert np.array_equal(restored.segments, original.segments)
+        assert np.array_equal(restored.labels, original.labels)
+        assert restored.spec.symbol == "E1"
+        assert restored.spec.modality == "eeg"
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_npz(tmp_path / "missing.npz")
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, unrelated=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_npz(bad)

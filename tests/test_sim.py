@@ -1,0 +1,163 @@
+"""Tests for the evaluator, lifetime model and discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CrossEndEngine
+from repro.core.partition import Partition
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph.cuts import aggregator_cut, sensor_cut
+from repro.hw.battery import SENSOR_BATTERY
+from repro.sim.evaluate import evaluate_partition
+from repro.sim.lifetime import (
+    average_power_w,
+    battery_lifetime_hours,
+    event_period_s,
+)
+from repro.sim.simulator import CrossEndSimulator
+
+
+@pytest.fixture(scope="module")
+def metrics_pair(request):
+    topo = request.getfixturevalue("tiny_topology")
+    lib = request.getfixturevalue("energy_lib_90")
+    link = request.getfixturevalue("link_model2")
+    cpu = request.getfixturevalue("cpu_model")
+    sensor = evaluate_partition(topo, sensor_cut(topo), lib, link, cpu)
+    agg = evaluate_partition(topo, aggregator_cut(topo), lib, link, cpu)
+    return topo, sensor, agg, (lib, link, cpu)
+
+
+class TestEvaluator:
+    def test_aggregator_cut_has_no_sensor_compute(self, metrics_pair):
+        _, _, agg, _ = metrics_pair
+        assert agg.sensor_compute_j == 0.0
+        assert agg.delay_front_s == 0.0
+        assert agg.sensor_rx_j == 0.0
+
+    def test_aggregator_cut_transmits_raw_segment(self, metrics_pair):
+        topo, _, agg, _ = metrics_pair
+        expected_bits = topo.segment_length * 16 + 8
+        assert agg.crossing_bits_up == expected_bits
+
+    def test_sensor_cut_sends_result_only(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        assert sensor.crossing_bits_up == 8 + 8  # 8-bit result + header
+        assert sensor.delay_back_s == 0.0
+        assert sensor.aggregator_cpu_j == 0.0
+
+    def test_sensor_wireless_much_smaller_than_aggregator(self, metrics_pair):
+        _, sensor, agg, _ = metrics_pair
+        assert sensor.sensor_wireless_j < 0.05 * agg.sensor_wireless_j
+
+    def test_totals_are_sums(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        assert sensor.sensor_total_j == pytest.approx(
+            sensor.sensor_compute_j + sensor.sensor_tx_j + sensor.sensor_rx_j
+        )
+        assert sensor.delay_total_s == pytest.approx(
+            sensor.delay_front_s + sensor.delay_link_s + sensor.delay_back_s
+        )
+
+    def test_front_critical_path_not_sum(self, metrics_pair):
+        # Cells run concurrently: the critical path must be shorter than the
+        # serialised sum of all cell times.
+        topo, sensor, _, (lib, _, _) = metrics_pair
+        serial_sum = sum(
+            lib.seconds(
+                lib.cell_cost(c.op_counts, c.mode, c.parallel_width).cycles
+            )
+            for c in topo.cells.values()
+        )
+        assert sensor.delay_front_s < serial_sum
+
+    def test_unknown_cells_rejected(self, metrics_pair):
+        topo, _, _, (lib, link, cpu) = metrics_pair
+        with pytest.raises(ConfigurationError):
+            evaluate_partition(topo, frozenset({"ghost"}), lib, link, cpu)
+
+    def test_engine_traffic_matches_evaluator_ports(self, metrics_pair, rng):
+        """The executable engine and the analytic evaluator must agree on
+        which ports cross the cut."""
+        topo, _, _, (lib, link, cpu) = metrics_pair
+        names = sorted(topo.cells)
+        for _ in range(5):
+            subset = frozenset(n for n in names if rng.random() < 0.5)
+            metrics = evaluate_partition(topo, subset, lib, link, cpu)
+            engine = CrossEndEngine(topo, Partition(in_sensor=subset))
+            out = engine.classify(rng.normal(size=topo.segment_length))
+            up_bits = sum(
+                link.payload_bits(topo.port_of(r).n_values, topo.port_of(r).bits_per_value)
+                for r in out.uplink_ports
+            )
+            down_bits = sum(
+                link.payload_bits(topo.port_of(r).n_values, topo.port_of(r).bits_per_value)
+                for r, _ in out.downlink_ports
+            )
+            assert up_bits == metrics.crossing_bits_up
+            assert down_bits == metrics.crossing_bits_down
+
+
+class TestLifetime:
+    def test_event_period(self):
+        assert event_period_s(128, 256.0) == 0.5
+        with pytest.raises(ConfigurationError):
+            event_period_s(0, 256.0)
+
+    def test_average_power(self):
+        assert average_power_w(1e-6, 1.0, baseline_w=0.0) == pytest.approx(1e-6)
+
+    def test_lifetime_monotone_in_energy(self):
+        life_small = battery_lifetime_hours(1e-6, 0.5)
+        life_big = battery_lifetime_hours(2e-6, 0.5)
+        assert life_small > life_big
+
+    def test_lifetime_uses_battery_model(self):
+        hours = battery_lifetime_hours(1e-6, 0.5, battery=SENSOR_BATTERY, baseline_w=0)
+        assert hours == pytest.approx(
+            SENSOR_BATTERY.energy_j / (2e-6) / 3600.0
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            average_power_w(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            average_power_w(1.0, 0.0)
+
+
+class TestSimulator:
+    def test_totals_match_static_model(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        report = CrossEndSimulator(sensor, period_s=0.5).run(20)
+        assert report.sensor_energy_j == pytest.approx(20 * sensor.sensor_total_j)
+        assert report.aggregator_energy_j == pytest.approx(
+            20 * sensor.aggregator_total_j
+        )
+
+    def test_latency_equals_delay_when_underloaded(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        report = CrossEndSimulator(sensor, period_s=0.5).run(10)
+        assert report.mean_latency_s == pytest.approx(sensor.delay_total_s)
+        assert report.deadline_misses == 0
+
+    def test_pipelining_over_three_stages(self, metrics_pair):
+        # With a period between the bottleneck stage time and the total
+        # latency, the pipeline keeps up but events overlap in time.
+        _, _, agg, _ = metrics_pair
+        bottleneck = max(agg.delay_front_s, agg.delay_link_s, agg.delay_back_s)
+        period = (bottleneck + agg.delay_total_s) / 2
+        report = CrossEndSimulator(agg, period_s=period).run(50)
+        assert report.max_latency_s < 3 * agg.delay_total_s
+        assert report.events[-1].latency_s >= agg.delay_total_s - 1e-12
+
+    def test_overload_diverges(self, metrics_pair):
+        _, _, agg, _ = metrics_pair
+        with pytest.raises(SimulationError):
+            CrossEndSimulator(agg, period_s=agg.delay_link_s / 10).run(5000)
+
+    def test_invalid_args(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        with pytest.raises(ConfigurationError):
+            CrossEndSimulator(sensor, period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CrossEndSimulator(sensor, period_s=1.0).run(0)

@@ -1,0 +1,151 @@
+"""Tests: push-relabel solver equivalence, topology linter, Gantt renderer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.cell import SOURCE_CELL, FunctionalCell, OutputPort, PortRef
+from repro.cells.topology import CellTopology
+from repro.cells.validate import lint_topology
+from repro.errors import ConfigurationError
+from repro.graph.maxflow import INFINITY, FlowNetwork
+from repro.graph.stgraph import build_st_graph
+from repro.hw.energy import ALUMode
+from repro.sim.simulator import CrossEndSimulator
+from repro.sim.timeline import render_timeline
+
+
+def _twin_networks(edges):
+    nets = []
+    for _ in range(2):
+        net = FlowNetwork()
+        net._node(0)
+        net._node(5)
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+        nets.append(net)
+    return nets
+
+
+class TestPushRelabel:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 30)),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_dinic(self, raw_edges):
+        edges = [(u, v, float(c)) for u, v, c in raw_edges if u != v]
+        if not edges:
+            return
+        dinic_net, pr_net = _twin_networks(edges)
+        dinic = dinic_net.max_flow(0, 5)
+        pr = pr_net.max_flow_push_relabel(0, 5)
+        assert pr.max_flow == pytest.approx(dinic.max_flow)
+
+    def test_handles_infinite_edges(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "b", INFINITY)
+        net.add_edge("b", "t", 7.0)
+        result = net.max_flow_push_relabel("s", "t")
+        assert result.max_flow == pytest.approx(5.0)
+        assert "s" in result.source_side
+
+    def test_agrees_on_real_st_graph(self, tiny_topology, energy_lib_90, link_model2):
+        g1 = build_st_graph(tiny_topology, energy_lib_90, link_model2)
+        g2 = build_st_graph(tiny_topology, energy_lib_90, link_model2)
+        _, dinic_value = g1.solve()
+        pr = g2.network.max_flow_push_relabel("F", "B")
+        assert pr.max_flow == pytest.approx(dinic_value, rel=1e-9)
+
+    def test_validation(self):
+        net = FlowNetwork()
+        net.add_edge("a", "b", 1.0)
+        with pytest.raises(ConfigurationError):
+            net.max_flow_push_relabel("a", "z")
+        with pytest.raises(ConfigurationError):
+            net.max_flow_push_relabel("a", "a")
+
+
+def _cell(name, inputs, out_dim=1, module="toy", bits=16):
+    return FunctionalCell(
+        name=name,
+        module=module,
+        op_counts={"add": 1},
+        mode=ALUMode.SERIAL,
+        inputs=tuple(inputs),
+        outputs=(OutputPort("out", out_dim, bits),),
+        compute=lambda arrays, d=out_dim: {"out": np.zeros(d)},
+    )
+
+
+class TestLinter:
+    def test_clean_generated_topology(self, tiny_topology):
+        findings = lint_topology(tiny_topology)
+        assert findings == []
+
+    def test_dead_cell_detected(self):
+        a = _cell("a", [PortRef(SOURCE_CELL)])
+        dead = _cell("dead", [PortRef(SOURCE_CELL)])
+        b = _cell("b", [PortRef("a", "out")])
+        topo = CellTopology(8, [a, dead, b], PortRef("b", "out"))
+        kinds = {f.kind for f in lint_topology(topo)}
+        assert "dead_cell" in kinds
+        subjects = {f.subject for f in lint_topology(topo) if f.kind == "dead_cell"}
+        assert subjects == {"dead"}
+
+    def test_redundant_pair_detected(self):
+        a1 = _cell("a1", [PortRef(SOURCE_CELL)], module="mean")
+        a2 = _cell("a2", [PortRef(SOURCE_CELL)], module="mean")
+        sink = _cell("sink", [PortRef("a1", "out"), PortRef("a2", "out")])
+        topo = CellTopology(8, [a1, a2, sink], PortRef("sink", "out"))
+        findings = [f for f in lint_topology(topo) if f.kind == "redundant_pair"]
+        assert len(findings) == 1
+        assert findings[0].subject == "a2"
+
+    def test_wide_port_detected(self):
+        # 8-sample source at 16 bits = 128 bits; a 20-value 16-bit port is wider.
+        wide = _cell("wide", [PortRef(SOURCE_CELL)], out_dim=20)
+        sink = _cell("sink", [PortRef("wide", "out")])
+        topo = CellTopology(8, [wide, sink], PortRef("sink", "out"))
+        findings = [f for f in lint_topology(topo) if f.kind == "wide_port"]
+        assert findings and findings[0].subject == "wide.out"
+
+
+class TestTimeline:
+    def test_renders_all_lanes(self, tiny_topology, energy_lib_90, link_model2, cpu_model):
+        from repro.graph.cuts import aggregator_cut
+        from repro.sim.evaluate import evaluate_partition
+
+        metrics = evaluate_partition(
+            tiny_topology, aggregator_cut(tiny_topology), energy_lib_90,
+            link_model2, cpu_model,
+        )
+        report = CrossEndSimulator(metrics, period_s=0.01).run(5)
+        text = render_timeline(report.events)
+        assert "=" in text and "B" in text  # link + back-end activity
+        assert text.count("ev0") >= 5 - 1  # one row per event
+        assert "legend" in text
+
+    def test_contention_shows_queueing(self, tiny_topology, energy_lib_90,
+                                        link_model2, cpu_model):
+        from repro.graph.cuts import aggregator_cut
+        from repro.sim.evaluate import evaluate_partition
+
+        metrics = evaluate_partition(
+            tiny_topology, aggregator_cut(tiny_topology), energy_lib_90,
+            link_model2, cpu_model,
+        )
+        # Period just above the bottleneck: later events queue visibly.
+        period = metrics.delay_link_s * 1.05
+        report = CrossEndSimulator(metrics, period_s=period).run(8)
+        text = render_timeline(report.events)
+        assert "." in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([])

@@ -1,0 +1,121 @@
+"""Property tests of the s-t graph construction on random topologies.
+
+The whole Automatic XPro Generator rests on one equivalence: *the minimum
+cut of the s-t graph equals the minimum, over all partitions, of the
+sensor-node energy computed by the independent evaluator*.  These tests
+generate random dataflow topologies (random DAGs of cells with random op
+counts, port dimensions and fan-out) and certify the equivalence by
+exhaustive enumeration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.cell import SOURCE_CELL, FunctionalCell, OutputPort, PortRef
+from repro.cells.topology import CellTopology
+from repro.graph.cuts import enumerate_partitions
+from repro.graph.stgraph import build_st_graph
+from repro.hw.aggregator import AggregatorCPU
+from repro.hw.energy import ALUMode, EnergyLibrary
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import evaluate_partition
+
+CPU = AggregatorCPU()
+LIB = EnergyLibrary("90nm")
+
+
+def _random_topology(rng: np.random.Generator, n_cells: int) -> CellTopology:
+    """A random single-sink DAG of cells over a random-length source."""
+    segment_length = int(rng.integers(4, 64))
+    cells = []
+    ports = [PortRef(SOURCE_CELL, "out")]
+    port_dims = {ports[0]: segment_length}
+    for i in range(n_cells):
+        # Later cells may read any earlier port; at least one input each.
+        n_inputs = int(rng.integers(1, min(3, len(ports)) + 1))
+        chosen = rng.choice(len(ports), size=n_inputs, replace=False)
+        inputs = [ports[int(c)] for c in chosen]
+        out_dim = int(rng.integers(1, 9))
+        ops = {
+            "add": int(rng.integers(0, 400)),
+            "mul": int(rng.integers(0, 200)),
+            "super": int(rng.integers(0, 5)),
+        }
+        if sum(ops.values()) == 0:
+            ops = {"add": 1}
+        name = f"c{i}"
+        cells.append(
+            FunctionalCell(
+                name=name,
+                module="toy",
+                op_counts=ops,
+                mode=ALUMode.SERIAL,
+                inputs=tuple(inputs),
+                outputs=(OutputPort("out", out_dim, 16),),
+                compute=lambda arrays, d=out_dim: {"out": np.zeros(d)},
+            )
+        )
+        ref = PortRef(name, "out")
+        ports.append(ref)
+        port_dims[ref] = out_dim
+    # Tie every dangling output into a final sink cell so the DAG has one
+    # result (mirrors the fusion cell).
+    produced = {ref for ref in ports[1:]}
+    consumed = {inp for cell in cells for inp in cell.inputs}
+    dangling = sorted(produced - consumed, key=str) or [ports[-1]]
+    sink = FunctionalCell(
+        name="sink",
+        module="fusion",
+        op_counts={"add": len(dangling)},
+        mode=ALUMode.SERIAL,
+        inputs=tuple(dangling),
+        outputs=(OutputPort("out", 1, 8),),
+        compute=lambda arrays: {"out": np.zeros(1)},
+    )
+    cells.append(sink)
+    return CellTopology(segment_length, cells, PortRef("sink", "out"))
+
+
+@given(st.integers(0, 10_000), st.integers(2, 6), st.sampled_from(["model1", "model2", "model3"]))
+@settings(max_examples=40, deadline=None)
+def test_min_cut_equals_exhaustive_minimum(seed, n_cells, model):
+    rng = np.random.default_rng(seed)
+    topo = _random_topology(rng, n_cells)
+    link = WirelessLink(model)
+    in_sensor, capacity = build_st_graph(topo, LIB, link).solve()
+    energies = {
+        p: evaluate_partition(topo, p, LIB, link, CPU).sensor_total_j
+        for p in enumerate_partitions(topo)
+    }
+    best = min(energies.values())
+    assert capacity == pytest.approx(best, rel=1e-9)
+    # And the returned partition realises that capacity.
+    assert energies[in_sensor] == pytest.approx(capacity, rel=1e-9)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 7))
+@settings(max_examples=30, deadline=None)
+def test_single_end_cuts_bound_the_min_cut(seed, n_cells):
+    rng = np.random.default_rng(seed)
+    topo = _random_topology(rng, n_cells)
+    link = WirelessLink("model2")
+    _, capacity = build_st_graph(topo, LIB, link).solve()
+    sensor = evaluate_partition(
+        topo, frozenset(topo.cells), LIB, link, CPU
+    ).sensor_total_j
+    aggregator = evaluate_partition(topo, frozenset(), LIB, link, CPU).sensor_total_j
+    assert capacity <= sensor + 1e-15
+    assert capacity <= aggregator + 1e-15
+
+
+@given(st.integers(0, 10_000), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_capacity_matches_evaluator_for_the_solved_cut(seed, n_cells):
+    rng = np.random.default_rng(seed)
+    topo = _random_topology(rng, n_cells)
+    link = WirelessLink("model3")
+    in_sensor, capacity = build_st_graph(topo, LIB, link).solve()
+    metrics = evaluate_partition(topo, in_sensor, LIB, link, CPU)
+    assert metrics.sensor_total_j == pytest.approx(capacity, rel=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the random-subspace ensemble protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.ml.metrics import accuracy
+from repro.ml.subspace import RandomSubspaceClassifier
+
+
+def _wide_blobs(rng, n=80, n_features=20, informative=4):
+    """Blobs separable only through the first ``informative`` features."""
+    y = rng.integers(0, 2, size=n)
+    X = rng.normal(size=(n, n_features))
+    X[:, :informative] += 2.5 * y[:, None]
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(11)
+    X, y = _wide_blobs(rng)
+    clf = RandomSubspaceClassifier(
+        n_features=20, subspace_dim=5, n_draws=12, keep_fraction=0.25, seed=3
+    ).fit(X, y)
+    return clf, X, y
+
+
+class TestTrainingProtocol:
+    def test_member_count_matches_keep_fraction(self, fitted):
+        clf, _, _ = fitted
+        assert len(clf.members) == 3  # round(12 * 0.25)
+
+    def test_members_sorted_by_validation_accuracy(self, fitted):
+        clf, _, _ = fitted
+        accs = [m.validation_accuracy for m in clf.members]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_subspace_dimensions(self, fitted):
+        clf, _, _ = fitted
+        for member in clf.members:
+            assert len(member.feature_indices) == 5
+            assert len(set(member.feature_indices)) == 5
+            assert all(0 <= i < 20 for i in member.feature_indices)
+
+    def test_learns_the_task(self, fitted):
+        clf, X, y = fitted
+        assert accuracy(y, clf.predict(X)) >= 0.9
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(11)
+        X, y = _wide_blobs(rng)
+        a = RandomSubspaceClassifier(20, 5, 10, 0.3, seed=5).fit(X, y)
+        b = RandomSubspaceClassifier(20, 5, 10, 0.3, seed=5).fit(X, y)
+        assert [m.feature_indices for m in a.members] == [
+            m.feature_indices for m in b.members
+        ]
+        assert np.allclose(a.fusion.weights, b.fusion.weights)
+
+    def test_single_class_rejected(self, rng):
+        X = rng.normal(size=(20, 8))
+        with pytest.raises(TrainingError):
+            RandomSubspaceClassifier(8, 3, 5).fit(X, np.zeros(20, dtype=int))
+
+
+class TestInference:
+    def test_base_scores_shape(self, fitted):
+        clf, X, _ = fitted
+        scores = clf.base_scores(X[:7])
+        assert scores.shape == (7, len(clf.members))
+
+    def test_decision_function_sign(self, fitted):
+        clf, X, _ = fitted
+        scores = clf.decision_function(X[:10])
+        preds = clf.predict(X[:10])
+        assert np.array_equal((scores > 0).astype(int), preds)
+
+    def test_use_before_fit(self):
+        clf = RandomSubspaceClassifier(8, 3)
+        with pytest.raises(ConfigurationError):
+            clf.predict(np.zeros((1, 8)))
+
+
+class TestTopologyInterface:
+    def test_used_features_is_member_union(self, fitted):
+        clf, _, _ = fitted
+        expected = sorted({i for m in clf.members for i in m.feature_indices})
+        assert list(clf.used_feature_indices()) == expected
+
+    def test_member_summary_fields(self, fitted):
+        clf, _, _ = fitted
+        rows = clf.member_summary()
+        assert len(rows) == len(clf.members)
+        for row in rows:
+            assert set(row) == {
+                "features",
+                "n_support_vectors",
+                "validation_accuracy",
+                "fusion_weight",
+            }
+
+
+class TestValidationOfArguments:
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceClassifier(0, 1)
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceClassifier(8, 9)
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceClassifier(8, 3, n_draws=0)
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceClassifier(8, 3, keep_fraction=0.0)
+
+    def test_feature_matrix_shape_checked(self, rng):
+        clf = RandomSubspaceClassifier(8, 3)
+        with pytest.raises(ConfigurationError):
+            clf.fit(rng.normal(size=(10, 9)), rng.integers(0, 2, 10))
