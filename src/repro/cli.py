@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 8 --segments 240 --draws 40
     python -m repro partition --case E1 --node 90nm --wireless model2
     python -m repro headline --segments 240 --draws 40
+    python -m repro resilience --case C1 --events 2000
 
 The figure/headline commands accept ``--segments`` / ``--draws`` to trade
 harness scale for runtime (the full-scale defaults match the benchmark
@@ -81,6 +82,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="check the paper's qualitative claims hold at this configuration",
     )
     _add_scale_args(val)
+
+    res = sub.add_parser(
+        "resilience",
+        help="run the seeded fault campaign and print the resilience report",
+    )
+    res.add_argument("--case", default="C1", help="Table 1 case symbol")
+    res.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    res.add_argument(
+        "--wireless", default="model2", choices=["model1", "model2", "model3"]
+    )
+    res.add_argument(
+        "--events", type=int, default=2000,
+        help="events to stream through the campaign (default: %(default)s)",
+    )
+    res.add_argument(
+        "--seed", type=int, default=11,
+        help="campaign seed (default: %(default)s)",
+    )
+    _add_scale_args(res)
 
     insp = sub.add_parser(
         "inspect",
@@ -174,6 +194,31 @@ def _cmd_validate(args: argparse.Namespace) -> str:
     return summarize(results)
 
 
+def _cmd_resilience(args: argparse.Namespace) -> str:
+    from repro.eval.resilience import arq_model_rows, resilience_rows
+
+    ctx = _context(args)
+    symbol = args.case.upper()
+    scenario_table = format_table(
+        resilience_rows(
+            ctx, symbol, args.node, args.wireless,
+            n_events=args.events, seed=args.seed,
+        ),
+        title=(
+            f"Resilience under the seeded fault campaign ({symbol} at "
+            f"{args.node} / {args.wireless}, {args.events} events, "
+            f"seed {args.seed})"
+        ),
+        float_format="{:.4g}",
+    )
+    model_table = format_table(
+        arq_model_rows(),
+        title="Closed-form ARQ model: legacy 1/(1-p) vs truncated geometric",
+        float_format="{:.4g}",
+    )
+    return scenario_table + "\n\n" + model_table
+
+
 def _cmd_inspect(args: argparse.Namespace) -> str:
     from repro.cells.validate import lint_topology
     from repro.hw.area import area_report
@@ -211,6 +256,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "report": _cmd_report,
     "inspect": _cmd_inspect,
+    "resilience": _cmd_resilience,
     "validate": _cmd_validate,
 }
 

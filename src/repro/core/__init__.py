@@ -11,10 +11,17 @@
   partitioning with the delay-constrained extension (Section 3.2).
 - :mod:`repro.core.engine` -- the executable cross-end engine, verified
   bit-for-bit against the monolithic pipeline.
+- :mod:`repro.core.degrade` -- graceful-degradation policies (in-sensor
+  fallback on persistent outage, last-known-good service on drops).
 """
 
 from repro.core.adaptive import AdaptivePartitionController, LossRateEstimator
 from repro.core.builder import build_topology
+from repro.core.degrade import (
+    DegradedDecision,
+    GracefulDegradationPolicy,
+    LastKnownGoodCache,
+)
 from repro.core.heuristics import greedy_descent, simulated_annealing
 from repro.core.multiclass import build_multiclass_topology, classify_multiclass
 from repro.core.quantized import classify_quantized, execute_quantized, quantization_agreement
@@ -32,6 +39,9 @@ from repro.core.pipeline import (
 __all__ = [
     "AdaptivePartitionController",
     "AutomaticXProGenerator",
+    "DegradedDecision",
+    "GracefulDegradationPolicy",
+    "LastKnownGoodCache",
     "LossRateEstimator",
     "argmax_decode",
     "build_multiclass_topology",

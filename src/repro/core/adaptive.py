@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.degrade import GracefulDegradationPolicy
 from repro.core.generator import AutomaticXProGenerator
 from repro.core.partition import Partition
 from repro.errors import ConfigurationError
+from repro.graph.cuts import sensor_cut
 from repro.hw.wireless import WirelessLink
 from repro.sim.evaluate import PartitionMetrics, evaluate_partition
 
@@ -49,10 +51,16 @@ class LossRateEstimator:
             raise ConfigurationError("estimate must be in [0, 1)")
 
     def observe(self, lost: bool) -> float:
-        """Fold one payload outcome into the estimate; returns it."""
+        """Fold one payload outcome into the estimate; returns it.
+
+        The estimate is *not* clamped: with ``alpha = 1`` a single loss
+        drives it to 1 exactly, and even with ``alpha < 1`` float rounding
+        can reach 1.0 on a long all-loss streak.  At the boundary,
+        rebuilding a link fails deterministically under the unbounded
+        retransmission model (and saturates at the truncated-geometric
+        bound under a bounded :class:`~repro.hw.arq.ARQConfig`).
+        """
         self.estimate += self.alpha * (float(lost) - self.estimate)
-        # Clamp strictly below 1 so the retransmission model stays finite.
-        self.estimate = min(self.estimate, 0.99)
         return self.estimate
 
 
@@ -87,6 +95,13 @@ class AdaptivePartitionController:
             to switch (hysteresis).
         switch_cost_j: One-off energy cost of redeploying a partition;
             a switch must amortise within ``recheck_interval`` events.
+        degradation: Optional graceful-degradation policy.  When set, the
+            controller feeds it every payload outcome; while it declares a
+            persistent outage, :attr:`active_partition` serves the
+            in-sensor extreme cut (decisions stay locally available even
+            with the link down) instead of the optimised cut, and the
+            optimal cut is re-entered only after the policy's recovery
+            hysteresis.
     """
 
     def __init__(
@@ -95,6 +110,7 @@ class AdaptivePartitionController:
         recheck_interval: int = 200,
         min_improvement: float = 0.05,
         switch_cost_j: float = 50e-6,
+        degradation: Optional[GracefulDegradationPolicy] = None,
     ) -> None:
         if recheck_interval < 1:
             raise ConfigurationError("recheck_interval must be >= 1")
@@ -106,13 +122,38 @@ class AdaptivePartitionController:
         self.recheck_interval = int(recheck_interval)
         self.min_improvement = float(min_improvement)
         self.switch_cost_j = float(switch_cost_j)
+        self.degradation = degradation
         self.estimator = LossRateEstimator()
         self.current: Partition = generator.generate().partition
         self.history: List[AdaptationEvent] = []
         self._events_seen = 0
+        self._fallback: Optional[Partition] = None
+
+    @property
+    def fallback_partition(self) -> Partition:
+        """The in-sensor extreme cut used while degraded (lazily built)."""
+        if self._fallback is None:
+            self._fallback = Partition(
+                in_sensor=sensor_cut(self.generator.topology),
+                label="sensor-fallback",
+            )
+        return self._fallback
+
+    @property
+    def active_partition(self) -> Partition:
+        """The partition to deploy right now.
+
+        The optimised cut normally; the in-sensor fallback while the
+        degradation policy (if any) declares a persistent outage.
+        """
+        if self.degradation is not None and self.degradation.in_fallback:
+            return self.fallback_partition
+        return self.current
 
     def _link_at(self, loss: float) -> WirelessLink:
-        return WirelessLink(self.generator.link.model, loss_rate=loss)
+        return WirelessLink(
+            self.generator.link.model, loss_rate=loss, arq=self.generator.link.arq
+        )
 
     def _metrics_at(self, partition: Partition, loss: float) -> PartitionMetrics:
         return evaluate_partition(
@@ -130,6 +171,8 @@ class AdaptivePartitionController:
         ran (every ``recheck_interval`` events), else None.
         """
         self.estimator.observe(payload_lost)
+        if self.degradation is not None:
+            self.degradation.observe(not payload_lost)
         self._events_seen += 1
         if self._events_seen % self.recheck_interval:
             return None

@@ -7,6 +7,9 @@
   evaluation trains each test case once.
 - :mod:`repro.eval.tables` -- plain-text rendering of result tables in the
   paper's shape.
+- :mod:`repro.eval.resilience` -- availability/latency under seeded fault
+  campaigns, comparing unbounded stop-and-wait, bounded-retry ARQ and
+  graceful degradation.
 """
 
 from repro.eval.charts import bar_chart
@@ -15,6 +18,12 @@ from repro.eval.codesign import codesign_rows
 from repro.eval.motivation import motivation_rows
 from repro.eval.pareto import ParetoPoint, pareto_frontier
 from repro.eval.report import generate_report, write_report
+from repro.eval.resilience import (
+    arq_model_rows,
+    default_campaign,
+    resilience_reports,
+    resilience_rows,
+)
 from repro.eval.experiments import (
     fig4_rows,
     fig8_rows,
@@ -31,11 +40,15 @@ from repro.eval.tables import format_table
 __all__ = [
     "ExperimentContext",
     "ParetoPoint",
+    "arq_model_rows",
     "bar_chart",
     "codesign_rows",
+    "default_campaign",
     "motivation_rows",
     "generate_report",
     "pareto_frontier",
+    "resilience_reports",
+    "resilience_rows",
     "write_report",
     "fig10_rows",
     "fig11_rows",

@@ -9,12 +9,15 @@ transceiver designs (Section 4.2/4.3):
   (serial / parallel / pipeline) and per-module characterisation (Figure 4).
 - :mod:`repro.hw.wireless` -- the three implant transceiver models and the
   common packet protocol (8-bit header per payload).
+- :mod:`repro.hw.arq` -- bounded-retry stop-and-wait ARQ with the
+  truncated-geometric transmission model (the resilience extension).
 - :mod:`repro.hw.battery` -- Polymer Li-Ion runtime model.
 - :mod:`repro.hw.aggregator` -- ARM Cortex-A8-class CPU energy/latency model
   for the in-aggregator software cells.
 """
 
 from repro.hw.aggregator import AggregatorCPU
+from repro.hw.arq import ARQConfig, ARQOutcome, UNBOUNDED_ARQ
 from repro.hw.area import AreaReport, area_report, cell_gate_equivalents
 from repro.hw.battery import BatteryModel, SENSOR_BATTERY, AGGREGATOR_BATTERY
 from repro.hw.energy import (
@@ -30,6 +33,9 @@ from repro.hw.wireless import BLE_MODEL, WIRELESS_MODELS, TransceiverModel, Wire
 
 __all__ = [
     "AGGREGATOR_BATTERY",
+    "ARQConfig",
+    "ARQOutcome",
+    "UNBOUNDED_ARQ",
     "AreaReport",
     "BLE_MODEL",
     "DEFAULT_POWER_GATING",

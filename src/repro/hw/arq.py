@@ -1,0 +1,222 @@
+"""Bounded-retry stop-and-wait ARQ for the body-area link.
+
+The paper evaluates a loss-free channel; the lossy-link extension modelled
+i.i.d. payload loss with *unbounded* stop-and-wait retransmission, whose
+expected transmission count ``1 / (1 - p)`` diverges as the loss rate
+``p`` approaches 1.  Real wearable radios bound the retry count: after a
+per-try timeout the payload is retransmitted with exponential backoff, and
+after ``max_retries`` failed retries it is *dropped* and the decision layer
+must degrade gracefully (see :mod:`repro.core.degrade`).
+
+With at most ``N = max_retries + 1`` tries per payload the transmission
+count follows a *truncated geometric* distribution, and every moment the
+energy/delay models need has a closed form:
+
+- delivery probability ``1 - p^N``;
+- expected transmissions ``(1 - p^N) / (1 - p)`` (``N`` at ``p = 1``);
+- worst-case transmissions ``N`` — finite for every ``p``, including
+  ``p = 1`` where the unbounded model diverges.
+
+``max_retries=None`` reproduces the legacy unbounded model exactly (no
+timeouts, expectation ``1 / (1 - p)``), keeping the paper's numbers
+bit-identical; it rejects ``p = 1`` deterministically.
+
+Retry *jitter* is deterministic (a golden-ratio low-discrepancy sequence
+over the attempt index) so that every simulation of the same configuration
+is reproducible bit-for-bit without threading an RNG through the link
+models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Fractional part of the golden ratio; drives the deterministic jitter.
+_GOLDEN = 0.6180339887498949
+
+#: Hard cap on simulated tries for the unbounded policy; exceeding it means
+#: the channel never let the payload through (e.g. an outage window keyed to
+#: the event), which is exactly the divergence bounded ARQ exists to fix.
+DEFAULT_MAX_SIMULATED_TRIES = 10_000
+
+
+@dataclass(frozen=True)
+class ARQOutcome:
+    """Result of simulating one payload through the ARQ policy.
+
+    Attributes:
+        delivered: Whether the payload got through within the try budget.
+        tries: Transmissions actually performed (>= 1).
+        delay_s: Total link occupancy: on-air time of every try plus the
+            backoff waits between tries.
+    """
+
+    delivered: bool
+    tries: int
+    delay_s: float
+
+
+@dataclass(frozen=True)
+class ARQConfig:
+    """Bounded-retry stop-and-wait ARQ policy parameters.
+
+    Attributes:
+        max_retries: Retries after the first try (``N = max_retries + 1``
+            tries total), then drop.  ``None`` selects the legacy unbounded
+            stop-and-wait model (no timeouts, divergent at ``p = 1``).
+        timeout_s: Wait before the first retry.
+        backoff_factor: Multiplicative backoff growth per further retry.
+        jitter_fraction: Amplitude of the deterministic jitter applied to
+            each backoff wait (0 disables it).
+    """
+
+    max_retries: Optional[int] = 3
+    timeout_s: float = 2e-3
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError("max_retries must be None or >= 0")
+        if self.timeout_s < 0:
+            raise ConfigurationError("timeout_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the retry budget is finite."""
+        return self.max_retries is not None
+
+    @property
+    def max_tries(self) -> float:
+        """Maximum transmissions per payload (``inf`` when unbounded)."""
+        if self.max_retries is None:
+            return math.inf
+        return self.max_retries + 1
+
+    def backoff_s(self, retry: int) -> float:
+        """Wait before retry number ``retry`` (1-based).
+
+        The legacy unbounded policy models ideal stop-and-wait with zero
+        timeout overhead, so it always returns 0.
+        """
+        if retry < 1:
+            raise ConfigurationError("retry index must be >= 1")
+        if self.max_retries is None:
+            return 0.0
+        jitter = 1.0 + self.jitter_fraction * math.modf(retry * _GOLDEN)[0]
+        return self.timeout_s * self.backoff_factor ** (retry - 1) * jitter
+
+    # -- closed-form truncated-geometric moments ---------------------------------
+
+    def _check_loss(self, loss_rate: float) -> float:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must be in [0, 1]")
+        if loss_rate == 1.0 and self.max_retries is None:
+            raise ConfigurationError(
+                "loss_rate = 1 diverges under unbounded stop-and-wait; "
+                "use a bounded ARQConfig (max_retries set)"
+            )
+        return float(loss_rate)
+
+    def delivery_probability(self, loss_rate: float) -> float:
+        """Probability one payload is delivered within the try budget."""
+        p = self._check_loss(loss_rate)
+        if self.max_retries is None:
+            return 1.0
+        return 1.0 - p ** (self.max_retries + 1)
+
+    def expected_transmissions(self, loss_rate: float) -> float:
+        """Mean transmissions per payload (truncated-geometric mean).
+
+        Converges to the legacy ``1 / (1 - p)`` as ``max_retries`` grows
+        and saturates at ``max_retries + 1`` as ``p`` approaches 1.
+        """
+        p = self._check_loss(loss_rate)
+        if p == 0.0:
+            return 1.0
+        if self.max_retries is None:
+            return 1.0 / (1.0 - p)
+        n = self.max_retries + 1
+        if p == 1.0:
+            return float(n)
+        return (1.0 - p**n) / (1.0 - p)
+
+    def expected_backoff_s(self, loss_rate: float) -> float:
+        """Mean total backoff wait per payload.
+
+        The wait before retry ``r`` is incurred iff the first ``r`` tries
+        all failed (probability ``p^r``); the unbounded legacy policy has
+        no timeouts, so its expectation is 0.
+        """
+        p = self._check_loss(loss_rate)
+        if self.max_retries is None or p == 0.0:
+            return 0.0
+        return sum(p**r * self.backoff_s(r) for r in range(1, self.max_retries + 1))
+
+    def worst_case_transmissions(self) -> float:
+        """Largest possible transmission count (``inf`` when unbounded)."""
+        return self.max_tries
+
+    def worst_case_delay_s(self, on_air_s: float) -> float:
+        """Worst-case link occupancy of one payload (``inf`` when unbounded)."""
+        if on_air_s < 0:
+            raise ConfigurationError("on_air_s must be >= 0")
+        if self.max_retries is None:
+            return math.inf
+        air = (self.max_retries + 1) * on_air_s
+        waits = sum(self.backoff_s(r) for r in range(1, self.max_retries + 1))
+        return air + waits
+
+    # -- per-try simulation ---------------------------------------------------------
+
+    def simulate(
+        self,
+        try_lost: Callable[[int], bool],
+        on_air_s: float,
+        max_simulated_tries: int = DEFAULT_MAX_SIMULATED_TRIES,
+    ) -> ARQOutcome:
+        """Run one payload through the policy against a per-try loss source.
+
+        Args:
+            try_lost: Callback receiving the 1-based attempt number and
+                returning True when that transmission is lost.
+            on_air_s: Serialisation time of one transmission.
+            max_simulated_tries: Safety cap for the unbounded policy; hit
+                it and a :class:`~repro.errors.SimulationError` is raised,
+                surfacing the divergence the bounded policy avoids.
+
+        Returns:
+            The :class:`ARQOutcome` (delivered/dropped, tries, occupancy).
+        """
+        if on_air_s < 0:
+            raise ConfigurationError("on_air_s must be >= 0")
+        tries = 0
+        delay = 0.0
+        while True:
+            tries += 1
+            delay += on_air_s
+            if not try_lost(tries):
+                return ARQOutcome(delivered=True, tries=tries, delay_s=delay)
+            if self.max_retries is not None and tries >= self.max_retries + 1:
+                return ARQOutcome(delivered=False, tries=tries, delay_s=delay)
+            if tries >= max_simulated_tries:
+                raise SimulationError(
+                    f"unbounded ARQ exceeded {max_simulated_tries} tries on one "
+                    "payload: the channel never recovered (retry storm); use a "
+                    "bounded ARQConfig to keep per-payload delay finite"
+                )
+            delay += self.backoff_s(tries)
+
+
+#: The legacy unbounded stop-and-wait policy (the paper's lossy-link model).
+UNBOUNDED_ARQ = ARQConfig(max_retries=None, timeout_s=0.0, jitter_fraction=0.0)

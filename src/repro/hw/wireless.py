@@ -19,9 +19,10 @@ Bluetooth Low Energy is deliberately excluded, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
 
 _NJ = 1e-9
 
@@ -91,28 +92,55 @@ class WirelessLink:
 
     A body-area channel is not loss-free: ``loss_rate`` models stop-and-wait
     retransmission under i.i.d. payload loss, inflating every energy and
-    delay figure by the expected transmission count ``1 / (1 - p)``
-    (acknowledgement traffic is folded into the per-bit figures, as the
-    published transceiver measurements already include protocol overhead).
-    The paper's evaluation corresponds to ``loss_rate = 0``.
+    delay figure by the expected transmission count (acknowledgement
+    traffic is folded into the per-bit figures, as the published
+    transceiver measurements already include protocol overhead).  The
+    paper's evaluation corresponds to ``loss_rate = 0``.
+
+    Without an ``arq`` policy the legacy *unbounded* stop-and-wait model
+    applies: expectation ``1 / (1 - p)``, which diverges as ``p`` tends to
+    1, so ``loss_rate = 1`` is rejected deterministically.  With a bounded
+    :class:`~repro.hw.arq.ARQConfig` the truncated-geometric model applies
+    instead: every figure stays finite for all ``p`` in ``[0, 1]`` (it
+    saturates at ``max_retries + 1`` transmissions) at the cost of a
+    nonzero payload-drop probability, which the resilience layer
+    (:mod:`repro.sim.faults`, :mod:`repro.core.degrade`) handles.
 
     Args:
         model: Transceiver model (name or object).
-        loss_rate: Per-payload loss probability in ``[0, 1)``.
+        loss_rate: Per-payload loss probability; ``[0, 1)`` without ARQ,
+            ``[0, 1]`` with a bounded ARQ policy.
+        arq: Retransmission policy; None selects the legacy unbounded
+            stop-and-wait model (the paper-compatible default).
     """
 
     def __init__(
-        self, model: TransceiverModel | str = "model2", loss_rate: float = 0.0
+        self,
+        model: TransceiverModel | str = "model2",
+        loss_rate: float = 0.0,
+        arq: Optional[ARQConfig] = None,
     ) -> None:
         self.model = get_wireless_model(model) if isinstance(model, str) else model
-        if not 0.0 <= loss_rate < 1.0:
-            raise ConfigurationError("loss_rate must be in [0, 1)")
+        self.arq = UNBOUNDED_ARQ if arq is None else arq
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must be in [0, 1]")
+        if loss_rate == 1.0 and not self.arq.bounded:
+            raise ConfigurationError(
+                "loss_rate = 1 diverges under unbounded stop-and-wait "
+                "(expected transmissions 1/(1-p)); pass a bounded ARQConfig "
+                "to saturate at max_retries + 1 transmissions instead"
+            )
         self.loss_rate = float(loss_rate)
 
     @property
     def expected_transmissions(self) -> float:
-        """Mean transmissions per payload under the loss model."""
-        return 1.0 / (1.0 - self.loss_rate)
+        """Mean transmissions per payload under the loss/ARQ model."""
+        return self.arq.expected_transmissions(self.loss_rate)
+
+    @property
+    def delivery_probability(self) -> float:
+        """Probability a payload is delivered within the ARQ try budget."""
+        return self.arq.delivery_probability(self.loss_rate)
 
     def payload_bits(self, n_values: int, bits_per_value: int) -> int:
         """Total on-air bits for one payload of ``n_values`` samples."""
@@ -141,12 +169,34 @@ class WirelessLink:
         )
 
     def transfer_delay(self, n_values: int, bits_per_value: int) -> float:
-        """On-air serialisation time (s) of one payload (retries included)."""
+        """Expected link occupancy (s) of one payload.
+
+        Covers on-air serialisation of every expected transmission plus
+        the expected ARQ backoff waits (zero under the legacy unbounded
+        policy, which models ideal stop-and-wait).
+        """
+        bits = self.payload_bits(n_values, bits_per_value)
+        if bits == 0:
+            return 0.0
         return (
-            self.payload_bits(n_values, bits_per_value)
-            / self.model.data_rate_bps
-            * self.expected_transmissions
+            bits / self.model.data_rate_bps * self.expected_transmissions
+            + self.arq.expected_backoff_s(self.loss_rate)
         )
+
+    def worst_case_transfer_delay(
+        self, n_values: int, bits_per_value: int
+    ) -> float:
+        """Worst-case link occupancy (s) of one payload.
+
+        Finite whenever the ARQ policy is bounded; ``inf`` under the
+        legacy unbounded stop-and-wait model on a lossy channel.
+        """
+        bits = self.payload_bits(n_values, bits_per_value)
+        if bits == 0:
+            return 0.0
+        if self.loss_rate == 0.0:
+            return bits / self.model.data_rate_bps
+        return self.arq.worst_case_delay_s(bits / self.model.data_rate_bps)
 
     def tx_energy_bits(self, bits: int) -> float:
         """Energy (J) to transmit a raw bit count (header already included)."""

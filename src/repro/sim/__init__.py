@@ -7,23 +7,46 @@
 - :mod:`repro.sim.simulator` -- a discrete-event simulator streaming
   segments through sensor, link and aggregator resources, used to validate
   the static model and to detect real-time overruns.
+- :mod:`repro.sim.faults` -- composable fault models (outages, burst loss,
+  corruption, brownouts, stalls) and seeded fault-injection campaigns with
+  bounded-retry ARQ and graceful degradation.
 """
 
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
 from repro.sim.discharge import DischargeTrace, simulate_discharge
 from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+from repro.sim.faults import (
+    AggregatorStall,
+    BurstLoss,
+    DecisionRecord,
+    FaultCampaign,
+    FaultModel,
+    LinkOutage,
+    PayloadCorruption,
+    ResilienceReport,
+    SensorBrownout,
+)
 from repro.sim.lifetime import battery_lifetime_hours, event_period_s
 from repro.sim.multinode import BSNNode, BSNReport, MultiNodeBSN
 from repro.sim.simulator import CrossEndSimulator, SimulationReport
 from repro.sim.timeline import render_timeline
 
 __all__ = [
+    "AggregatorStall",
     "BSNNode",
     "BSNReport",
+    "BurstLoss",
     "CrossEndSimulator",
+    "DecisionRecord",
     "DischargeTrace",
+    "FaultCampaign",
+    "FaultModel",
     "GilbertElliottChannel",
     "GilbertElliottParams",
+    "LinkOutage",
+    "PayloadCorruption",
+    "ResilienceReport",
+    "SensorBrownout",
     "burst_lengths",
     "MultiNodeBSN",
     "PartitionMetrics",

@@ -1,0 +1,552 @@
+"""Composable fault models and seeded fault-injection campaigns.
+
+The discrete-event simulator (:mod:`repro.sim.simulator`) streams events
+through an ideal system; this module stresses the same system with the
+failure modes a deployed wearable actually sees:
+
+- :class:`LinkOutage` — a hard no-delivery window (the wearer walks behind
+  an RF obstacle, the aggregator reboots);
+- :class:`BurstLoss` — clustered payload loss from a Gilbert-Elliott chain
+  (:mod:`repro.sim.channel`), advanced once per *transmission attempt* so
+  retries inside a burst keep failing;
+- :class:`PayloadCorruption` — random CRC failures: the payload arrives but
+  is unusable, indistinguishable from loss to the ARQ layer;
+- :class:`SensorBrownout` — battery-sag windows in which the sensor cannot
+  acquire or compute at all;
+- :class:`AggregatorStall` — back-end service-time inflation (GC pause,
+  thermal throttling, a co-scheduled workload).
+
+A :class:`FaultCampaign` composes any number of these under one seed and
+replays them bit-for-bit: :meth:`FaultCampaign.run` re-arms every fault
+model, the degradation policy and the last-known-good cache before each
+run, so two runs of the same campaign produce identical
+:class:`ResilienceReport` objects.
+
+The runner injects the faults into a :class:`~repro.sim.simulator.
+CrossEndSimulator` configuration (its partition metrics, event period and
+jitter model), simulates the bounded-retry ARQ of :mod:`repro.hw.arq`
+per transmission attempt, and applies the graceful-degradation policies of
+:mod:`repro.core.degrade` when payloads drop.  Pass it metrics evaluated
+at ``loss_rate = 0``: retries are simulated here try-by-try, so feeding
+expectation-inflated figures would double-count them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.degrade import GracefulDegradationPolicy, LastKnownGoodCache
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
+from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams
+from repro.sim.evaluate import PartitionMetrics
+from repro.sim.simulator import CrossEndSimulator
+
+#: Per-event decision outcomes a campaign can record.
+DELIVERED = "delivered"
+DEGRADED = "degraded"
+DROPPED = "dropped"
+
+
+class FaultModel:
+    """Base class of one composable fault source.
+
+    Subclasses override the hooks they need; the defaults are no-ops, so a
+    fault model only has to express the dimension it perturbs.
+    """
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Re-arm internal state for a fresh, reproducible campaign run."""
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Whether transmission ``attempt`` (1-based) of event ``event_index`` is lost."""
+        return False
+
+    def sensor_brownout(self, event_index: int) -> bool:
+        """Whether the sensor is browned out for this event."""
+        return False
+
+    def stall_s(self, event_index: int) -> float:
+        """Extra aggregator service time (s) injected into this event."""
+        return 0.0
+
+
+def _check_window(start_event: int, n_events: int) -> None:
+    if start_event < 0:
+        raise ConfigurationError("start_event must be >= 0")
+    if n_events < 1:
+        raise ConfigurationError("n_events must be >= 1")
+
+
+@dataclass
+class LinkOutage(FaultModel):
+    """Hard link outage: every transmission in the window is lost.
+
+    Attributes:
+        start_event: First affected event index.
+        n_events: Number of consecutive affected events.
+    """
+
+    start_event: int
+    n_events: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_event, self.n_events)
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Lose every attempt of every event inside the outage window."""
+        return self.start_event <= event_index < self.start_event + self.n_events
+
+
+@dataclass
+class BurstLoss(FaultModel):
+    """Bursty loss episodes from a Gilbert-Elliott chain, per attempt.
+
+    The chain advances once per transmission attempt (not per event), so a
+    retry fired into an ongoing bad-state episode is likely to fail again —
+    the behaviour that makes bounded retries matter.
+
+    Attributes:
+        params: Gilbert-Elliott chain parameters.
+    """
+
+    params: GilbertElliottParams = field(default_factory=GilbertElliottParams)
+    _channel: Optional[GilbertElliottChannel] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Rebuild the chain from the campaign seed stream."""
+        self._channel = GilbertElliottChannel(
+            self.params, seed=int(rng.integers(2**31))
+        )
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Advance the chain one attempt; True when that attempt is lost."""
+        if self._channel is None:
+            raise ConfigurationError(
+                "BurstLoss used outside a campaign: call reset() first"
+            )
+        return self._channel.next_outcome()
+
+
+@dataclass
+class PayloadCorruption(FaultModel):
+    """Random CRC failures: delivered bits that fail the integrity check.
+
+    To the ARQ layer a corrupted payload is a lost payload (no valid ACK),
+    so this composes with the loss sources as an additional per-attempt
+    failure probability.
+
+    Attributes:
+        rate: Per-attempt corruption probability in [0, 1).
+    """
+
+    rate: float = 0.01
+    _rng: Optional[np.random.Generator] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ConfigurationError("rate must be in [0, 1)")
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Derive a private RNG from the campaign seed stream."""
+        self._rng = np.random.default_rng(int(rng.integers(2**31)))
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Corrupt this attempt with probability ``rate``."""
+        if self._rng is None:
+            raise ConfigurationError(
+                "PayloadCorruption used outside a campaign: call reset() first"
+            )
+        return bool(self._rng.random() < self.rate)
+
+
+@dataclass
+class SensorBrownout(FaultModel):
+    """Battery-sag window in which the sensor cannot operate at all.
+
+    Attributes:
+        start_event: First affected event index.
+        n_events: Number of consecutive affected events.
+    """
+
+    start_event: int
+    n_events: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_event, self.n_events)
+
+    def sensor_brownout(self, event_index: int) -> bool:
+        """True inside the brownout window."""
+        return self.start_event <= event_index < self.start_event + self.n_events
+
+
+@dataclass
+class AggregatorStall(FaultModel):
+    """Aggregator-side stall inflating back-end service time.
+
+    Attributes:
+        start_event: First affected event index.
+        n_events: Number of consecutive affected events.
+        extra_delay_s: Service-time inflation per affected event.
+    """
+
+    start_event: int
+    n_events: int
+    extra_delay_s: float = 5e-3
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_event, self.n_events)
+        if self.extra_delay_s < 0:
+            raise ConfigurationError("extra_delay_s must be >= 0")
+
+    def stall_s(self, event_index: int) -> float:
+        """The stall inflation inside the window, 0 outside."""
+        in_window = (
+            self.start_event <= event_index < self.start_event + self.n_events
+        )
+        return self.extra_delay_s if in_window else 0.0
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Outcome of one event under a fault campaign.
+
+    Attributes:
+        index: Event index.
+        status: ``"delivered"``, ``"degraded"`` (served from the
+            last-known-good cache) or ``"dropped"`` (no decision at all).
+        tries: Link transmissions spent on the event (0 during brownout).
+        latency_s: Release-to-decision latency; NaN when dropped.
+        fallback: Whether the degradation policy had the deployment on the
+            in-sensor fallback cut for this event.
+        staleness: Age (events) of the served decision; 0 when fresh.
+    """
+
+    index: int
+    status: str
+    tries: int
+    latency_s: float
+    fallback: bool
+    staleness: int
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Aggregate outcome of one fault-campaign run.
+
+    Attributes:
+        records: Per-event decision records.
+        sensor_energy_j: Total sensor energy, retries included.
+        aggregator_energy_j: Total aggregator energy, retries included.
+        retry_energy_j: Radio energy spent on retransmissions alone (the
+            overhead the resilience layer pays for availability).
+        retransmissions: Total retransmissions across the run.
+        fallback_events: Events served while on the fallback cut.
+        deadline_misses: Served events whose latency exceeded the period.
+    """
+
+    records: List[DecisionRecord]
+    sensor_energy_j: float
+    aggregator_energy_j: float
+    retry_energy_j: float
+    retransmissions: int
+    fallback_events: int
+    deadline_misses: int
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def n_events(self) -> int:
+        """Events simulated."""
+        return len(self.records)
+
+    @property
+    def n_delivered(self) -> int:
+        """Events whose decision arrived end-to-end."""
+        return self._count(DELIVERED)
+
+    @property
+    def n_degraded(self) -> int:
+        """Events served from the last-known-good cache."""
+        return self._count(DEGRADED)
+
+    @property
+    def n_dropped(self) -> int:
+        """Events that produced no decision at all."""
+        return self._count(DROPPED)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of events that produced *some* decision."""
+        if not self.records:
+            return 1.0
+        return (self.n_delivered + self.n_degraded) / self.n_events
+
+    @property
+    def dropped_decision_rate(self) -> float:
+        """Fraction of events with no decision (1 - availability)."""
+        return 1.0 - self.availability
+
+    def _served_latencies(self) -> List[float]:
+        return [r.latency_s for r in self.records if r.status != DROPPED]
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean decision latency over served events (NaN if none)."""
+        served = self._served_latencies()
+        return float(np.mean(served)) if served else math.nan
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst decision latency over served events (NaN if none)."""
+        served = self._served_latencies()
+        return max(served) if served else math.nan
+
+    @property
+    def worst_tries(self) -> int:
+        """Largest per-payload transmission count seen in the run."""
+        return max((r.tries for r in self.records), default=0)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over served events (NaN if none served)."""
+        if not 0 <= percentile <= 100:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        served = self._served_latencies()
+        return float(np.percentile(served, percentile)) if served else math.nan
+
+
+class FaultCampaign:
+    """A seeded, replayable composition of fault models.
+
+    Args:
+        faults: The fault models to inject (evaluated for every event and
+            every transmission attempt; their effects compose by OR for
+            loss/brownout and by sum for stalls).
+        seed: Campaign seed; :meth:`run` re-arms every stochastic fault
+            from it, so repeated runs are bit-for-bit identical.
+    """
+
+    def __init__(self, faults: Sequence[FaultModel], seed: int = 0) -> None:
+        if not faults:
+            raise ConfigurationError("a campaign needs at least one fault model")
+        for fault in faults:
+            if not isinstance(fault, FaultModel):
+                raise ConfigurationError(
+                    f"not a FaultModel: {fault!r}"
+                )
+        self.faults = list(faults)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm the campaign RNG and every fault model."""
+        self._rng = np.random.default_rng(self.seed)
+        for fault in self.faults:
+            fault.reset(np.random.default_rng(int(self._rng.integers(2**31))))
+
+    # -- composed per-event queries ---------------------------------------------
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Whether this transmission attempt is lost under any fault.
+
+        Every fault model is consulted (no short-circuit) so stateful
+        sources such as :class:`BurstLoss` advance exactly once per attempt.
+        """
+        outcomes = [f.try_lost(event_index, attempt) for f in self.faults]
+        return any(outcomes)
+
+    def sensor_brownout(self, event_index: int) -> bool:
+        """Whether any fault browns out the sensor for this event."""
+        outcomes = [f.sensor_brownout(event_index) for f in self.faults]
+        return any(outcomes)
+
+    def stall_s(self, event_index: int) -> float:
+        """Total aggregator stall injected into this event."""
+        return sum(f.stall_s(event_index) for f in self.faults)
+
+    # -- the runner ---------------------------------------------------------------
+
+    def run(
+        self,
+        simulator: CrossEndSimulator,
+        n_events: int,
+        arq: Optional[ARQConfig] = None,
+        policy: Optional[GracefulDegradationPolicy] = None,
+        fallback_metrics: Optional[PartitionMetrics] = None,
+        cache: Optional[LastKnownGoodCache] = None,
+    ) -> ResilienceReport:
+        """Stream ``n_events`` through the system with faults injected.
+
+        Args:
+            simulator: Supplies the partition metrics (evaluated at
+                ``loss_rate = 0`` — retries are simulated here), the event
+                period and the jitter model.
+            n_events: Events to stream (must be positive).
+            arq: Retransmission policy; None selects the legacy unbounded
+                stop-and-wait, whose per-payload delay is unbounded — a
+                hard outage window then raises
+                :class:`~repro.errors.SimulationError` (the divergence
+                bounded ARQ exists to fix).
+            policy: Optional outage-fallback policy; requires
+                ``fallback_metrics``.  While it declares a persistent
+                outage, events run on the fallback (in-sensor) metrics.
+            fallback_metrics: Clean-link metrics of the in-sensor extreme
+                cut used during fallback.
+            cache: Optional last-known-good cache; when given, dropped
+                payloads are served from it (status ``"degraded"``)
+                instead of being dropped outright.
+
+        Returns:
+            The :class:`ResilienceReport`; bit-for-bit identical across
+            repeated calls with the same arguments.
+        """
+        if n_events <= 0:
+            raise ConfigurationError("n_events must be positive")
+        if policy is not None and fallback_metrics is None:
+            raise ConfigurationError(
+                "a degradation policy requires fallback_metrics"
+            )
+        arq = UNBOUNDED_ARQ if arq is None else arq
+
+        self.reset()
+        if policy is not None:
+            policy.reset()
+        if cache is not None:
+            cache.reset()
+
+        period = simulator.period_s
+        jitter_rng = (
+            np.random.default_rng(simulator.seed)
+            if simulator.jitter_sigma > 0
+            else None
+        )
+
+        front_free = link_free = back_free = 0.0
+        records: List[DecisionRecord] = []
+        sensor_j = aggregator_j = retry_j = 0.0
+        retransmissions = 0
+        fallback_events = 0
+        misses = 0
+
+        for k in range(n_events):
+            release = k * period
+            in_fallback = policy is not None and policy.in_fallback
+            if in_fallback:
+                fallback_events += 1
+            active = (
+                fallback_metrics
+                if (in_fallback and fallback_metrics is not None)
+                else simulator.metrics
+            )
+
+            if self.sensor_brownout(k):
+                # The sensor is dark: nothing acquired, nothing computed,
+                # nothing transmitted.  Only the cache can answer.
+                served = cache.serve() if cache is not None else None
+                if served is not None:
+                    records.append(
+                        DecisionRecord(k, DEGRADED, 0, 0.0, in_fallback,
+                                       served.staleness)
+                    )
+                else:
+                    records.append(
+                        DecisionRecord(k, DROPPED, 0, math.nan, in_fallback, 0)
+                    )
+                continue
+
+            t_front, t_link, t_back = _jittered(
+                active, simulator.jitter_sigma, jitter_rng
+            )
+
+            front_start = max(release, front_free)
+            front_end = front_start + t_front
+            front_free = front_end
+            sensor_j += active.sensor_compute_j
+
+            outcome = arq.simulate(
+                lambda attempt: self.try_lost(k, attempt), t_link
+            )
+            link_start = max(front_end, link_free)
+            link_end = link_start + outcome.delay_s
+            link_free = link_end
+
+            per_try_radio = active.sensor_tx_j + active.sensor_rx_j
+            sensor_j += outcome.tries * per_try_radio
+            aggregator_j += outcome.tries * active.aggregator_radio_j
+            retransmissions += outcome.tries - 1
+            retry_j += (outcome.tries - 1) * (
+                per_try_radio + active.aggregator_radio_j
+            )
+
+            if outcome.delivered:
+                if policy is not None:
+                    policy.observe(True)
+                if cache is not None:
+                    cache.update(k)
+                back_start = max(link_end, back_free)
+                finish = back_start + t_back + self.stall_s(k)
+                back_free = finish
+                aggregator_j += active.aggregator_cpu_j
+                latency = finish - release
+                records.append(
+                    DecisionRecord(k, DELIVERED, outcome.tries, latency,
+                                   in_fallback, 0)
+                )
+            else:
+                if policy is not None:
+                    policy.observe(False)
+                served = cache.serve() if cache is not None else None
+                if served is not None:
+                    latency = link_end - release
+                    records.append(
+                        DecisionRecord(k, DEGRADED, outcome.tries, latency,
+                                       in_fallback, served.staleness)
+                    )
+                else:
+                    latency = math.nan
+                    records.append(
+                        DecisionRecord(k, DROPPED, outcome.tries, math.nan,
+                                       in_fallback, 0)
+                    )
+
+            if not math.isnan(latency):
+                if latency > period:
+                    misses += 1
+                if latency > 1000 * period:
+                    raise SimulationError(
+                        f"event backlog diverges under faults at event {k}: "
+                        f"latency {latency:.4f}s >> period {period:.4f}s"
+                    )
+
+        return ResilienceReport(
+            records=records,
+            sensor_energy_j=sensor_j,
+            aggregator_energy_j=aggregator_j,
+            retry_energy_j=retry_j,
+            retransmissions=retransmissions,
+            fallback_events=fallback_events,
+            deadline_misses=misses,
+        )
+
+
+def _jittered(
+    metrics: PartitionMetrics,
+    sigma: float,
+    rng: Optional[np.random.Generator],
+):
+    """Stage service times of ``metrics``, with unit-mean lognormal jitter."""
+    base = (metrics.delay_front_s, metrics.delay_link_s, metrics.delay_back_s)
+    if rng is None:
+        return base
+    factors = np.exp(rng.normal(-sigma**2 / 2.0, sigma, size=3))
+    return tuple(b * f for b, f in zip(base, factors))

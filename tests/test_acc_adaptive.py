@@ -63,10 +63,22 @@ class TestLossRateEstimator:
                 trail.append(est.estimate)
         assert np.mean(trail) == pytest.approx(0.3, abs=0.05)
 
-    def test_clamped_below_one(self):
+    def test_boundary_is_reachable_not_clamped(self):
+        # With alpha = 1 a single lost payload drives the estimate to
+        # exactly 1.0; the estimator no longer hides the boundary, so the
+        # consumer decides (raise under unbounded retransmission, saturate
+        # under bounded ARQ).
         est = LossRateEstimator(alpha=1.0)
         est.observe(True)
-        assert est.estimate < 1.0
+        assert est.estimate == 1.0
+
+    def test_smooth_tracker_approaches_one_from_below(self):
+        est = LossRateEstimator(alpha=0.5)
+        previous = est.estimate
+        for _ in range(30):
+            current = est.observe(True)
+            assert previous < current < 1.0
+            previous = current
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

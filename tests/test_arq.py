@@ -1,0 +1,200 @@
+"""Tests for the bounded-retry ARQ model and its WirelessLink integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
+from repro.hw.wireless import WirelessLink
+
+
+def brute_force_expected_tx(p: float, max_retries: int) -> float:
+    """Truncated-geometric mean straight from the distribution."""
+    n = max_retries + 1
+    total = 0.0
+    for k in range(1, n):
+        total += k * p ** (k - 1) * (1 - p)
+    total += n * p ** (n - 1)  # all earlier tries failed: k = N regardless
+    return total
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ARQConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ARQConfig(timeout_s=-1e-3)
+        with pytest.raises(ConfigurationError):
+            ARQConfig(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ARQConfig(jitter_fraction=1.0)
+
+    def test_invalid_queries(self):
+        arq = ARQConfig(max_retries=2)
+        with pytest.raises(ConfigurationError):
+            arq.backoff_s(0)
+        with pytest.raises(ConfigurationError):
+            arq.expected_transmissions(1.5)
+        with pytest.raises(ConfigurationError):
+            arq.worst_case_delay_s(-1.0)
+
+
+class TestClosedForm:
+    def test_clean_channel_is_single_shot(self):
+        arq = ARQConfig(max_retries=5)
+        assert arq.expected_transmissions(0.0) == 1.0
+        assert arq.delivery_probability(0.0) == 1.0
+        assert arq.expected_backoff_s(0.0) == 0.0
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("max_retries", [0, 1, 3, 7])
+    def test_matches_brute_force_distribution(self, p, max_retries):
+        arq = ARQConfig(max_retries=max_retries)
+        assert arq.expected_transmissions(p) == pytest.approx(
+            brute_force_expected_tx(p, max_retries)
+        )
+
+    def test_converges_to_legacy_model(self):
+        generous = ARQConfig(max_retries=200)
+        assert generous.expected_transmissions(0.5) == pytest.approx(2.0)
+        assert UNBOUNDED_ARQ.expected_transmissions(0.5) == 2.0
+
+    def test_saturates_at_the_boundary(self):
+        """Where 1/(1-p) diverges, the truncated model hits its ceiling."""
+        arq = ARQConfig(max_retries=3)
+        assert arq.expected_transmissions(1.0) == 4.0
+        assert arq.delivery_probability(1.0) == 0.0
+        assert arq.worst_case_transmissions() == 4
+
+    def test_unbounded_rejects_boundary(self):
+        with pytest.raises(ConfigurationError):
+            UNBOUNDED_ARQ.expected_transmissions(1.0)
+        with pytest.raises(ConfigurationError):
+            UNBOUNDED_ARQ.delivery_probability(1.0)
+
+    def test_expected_transmissions_monotone_in_loss(self):
+        arq = ARQConfig(max_retries=4)
+        values = [arq.expected_transmissions(p) for p in np.linspace(0, 1, 21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_expected_below_worst_case(self):
+        arq = ARQConfig(max_retries=6)
+        for p in (0.2, 0.7, 0.99):
+            assert arq.expected_transmissions(p) < arq.worst_case_transmissions()
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        arq = ARQConfig(max_retries=4, timeout_s=1e-3, backoff_factor=2.0,
+                        jitter_fraction=0.0)
+        assert arq.backoff_s(1) == pytest.approx(1e-3)
+        assert arq.backoff_s(2) == pytest.approx(2e-3)
+        assert arq.backoff_s(3) == pytest.approx(4e-3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = ARQConfig(max_retries=8, jitter_fraction=0.2)
+        b = ARQConfig(max_retries=8, jitter_fraction=0.2)
+        for retry in range(1, 9):
+            assert a.backoff_s(retry) == b.backoff_s(retry)
+            base = a.timeout_s * a.backoff_factor ** (retry - 1)
+            assert base <= a.backoff_s(retry) <= base * 1.2
+
+    def test_unbounded_has_no_timeouts(self):
+        assert UNBOUNDED_ARQ.backoff_s(1) == 0.0
+        assert UNBOUNDED_ARQ.expected_backoff_s(0.9) == 0.0
+
+    def test_worst_case_delay_closed_form(self):
+        arq = ARQConfig(max_retries=2, timeout_s=1e-3, backoff_factor=2.0,
+                        jitter_fraction=0.0)
+        t_air = 5e-4
+        assert arq.worst_case_delay_s(t_air) == pytest.approx(
+            3 * t_air + 1e-3 + 2e-3
+        )
+        assert UNBOUNDED_ARQ.worst_case_delay_s(t_air) == math.inf
+
+
+class TestSimulate:
+    def test_immediate_success(self):
+        arq = ARQConfig(max_retries=3)
+        out = arq.simulate(lambda attempt: False, on_air_s=1e-3)
+        assert out.delivered and out.tries == 1
+        assert out.delay_s == pytest.approx(1e-3)
+
+    def test_success_after_retries_accumulates_backoff(self):
+        arq = ARQConfig(max_retries=5, jitter_fraction=0.0, timeout_s=1e-3)
+        out = arq.simulate(lambda attempt: attempt <= 2, on_air_s=1e-3)
+        assert out.delivered and out.tries == 3
+        assert out.delay_s == pytest.approx(3e-3 + 1e-3 + 2e-3)
+
+    def test_drop_after_budget_exhausted(self):
+        arq = ARQConfig(max_retries=3)
+        out = arq.simulate(lambda attempt: True, on_air_s=1e-3)
+        assert not out.delivered
+        assert out.tries == 4
+
+    def test_unbounded_retry_storm_raises(self):
+        with pytest.raises(SimulationError):
+            UNBOUNDED_ARQ.simulate(
+                lambda attempt: True, on_air_s=1e-3, max_simulated_tries=50
+            )
+
+    def test_monte_carlo_matches_closed_form(self):
+        arq = ARQConfig(max_retries=3)
+        p = 0.4
+        rng = np.random.default_rng(17)
+        tries, delivered = [], 0
+        for _ in range(20_000):
+            out = arq.simulate(lambda attempt: rng.random() < p, on_air_s=0.0)
+            tries.append(out.tries)
+            delivered += out.delivered
+        assert np.mean(tries) == pytest.approx(
+            arq.expected_transmissions(p), rel=0.02
+        )
+        assert delivered / 20_000 == pytest.approx(
+            arq.delivery_probability(p), abs=0.01
+        )
+
+
+class TestWirelessLinkARQ:
+    def test_legacy_default_unchanged(self):
+        lossy = WirelessLink("model2", loss_rate=0.5)
+        assert lossy.expected_transmissions == pytest.approx(2.0)
+        assert lossy.arq.max_retries is None
+
+    def test_boundary_saturates_with_bounded_arq(self):
+        arq = ARQConfig(max_retries=3)
+        clean = WirelessLink("model2")
+        worst = WirelessLink("model2", loss_rate=1.0, arq=arq)
+        assert worst.expected_transmissions == 4.0
+        assert worst.delivery_probability == 0.0
+        assert worst.tx_energy(10, 16) == pytest.approx(4 * clean.tx_energy(10, 16))
+        assert math.isfinite(worst.worst_case_transfer_delay(10, 16))
+
+    def test_boundary_raises_without_bounded_arq(self):
+        with pytest.raises(ConfigurationError):
+            WirelessLink("model2", loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            WirelessLink("model2", loss_rate=1.0, arq=UNBOUNDED_ARQ)
+
+    def test_transfer_delay_includes_expected_backoff(self):
+        arq = ARQConfig(max_retries=3, timeout_s=1e-3, jitter_fraction=0.0)
+        link = WirelessLink("model2", loss_rate=0.5, arq=arq)
+        bits = link.payload_bits(10, 16)
+        on_air = bits / link.model.data_rate_bps
+        expected = (
+            on_air * arq.expected_transmissions(0.5)
+            + arq.expected_backoff_s(0.5)
+        )
+        assert link.transfer_delay(10, 16) == pytest.approx(expected)
+
+    def test_empty_payload_has_no_delay(self):
+        link = WirelessLink("model2", loss_rate=0.5, arq=ARQConfig())
+        assert link.transfer_delay(0, 16) == 0.0
+        assert link.worst_case_transfer_delay(0, 16) == 0.0
+
+    def test_worst_case_unbounded_is_infinite(self):
+        link = WirelessLink("model2", loss_rate=0.5)
+        assert link.worst_case_transfer_delay(10, 16) == math.inf
+        assert WirelessLink("model2").worst_case_transfer_delay(10, 16) > 0.0

@@ -46,10 +46,46 @@ class TestChannel:
         iid_bursts = burst_lengths(iid_outcomes)
         assert ge_bursts.mean() > 1.5 * iid_bursts.mean()
 
+    @pytest.mark.parametrize(
+        "params",
+        [
+            GilbertElliottParams(0.02, 0.1, 0.01, 0.6),
+            GilbertElliottParams(0.05, 0.05, 0.0, 0.9),
+            GilbertElliottParams(0.2, 0.4, 0.02, 0.3),
+        ],
+    )
+    def test_long_run_loss_matches_stationary(self, params):
+        """Empirical loss over a long seeded run sits within a few relative
+        percent of the closed-form stationary loss rate."""
+        channel = GilbertElliottChannel(params, seed=7)
+        outcomes = channel.outcomes(200_000)
+        assert outcomes.mean() == pytest.approx(
+            params.stationary_loss_rate, rel=0.08
+        )
+
     def test_reproducible_by_seed(self):
         a = GilbertElliottChannel(seed=9).outcomes(500)
         b = GilbertElliottChannel(seed=9).outcomes(500)
         assert np.array_equal(a, b)
+
+    def test_same_seed_identical_trace_stepwise(self):
+        """Same seed => bit-identical traces, whether drawn one outcome at
+        a time or as a batch, including the hidden state trajectory."""
+        params = GilbertElliottParams(0.05, 0.08, 0.01, 0.7)
+        stepped = GilbertElliottChannel(params, seed=21)
+        trace = [(stepped.next_outcome(), stepped.in_bad_state)
+                 for _ in range(2_000)]
+        batch = GilbertElliottChannel(params, seed=21).outcomes(2_000)
+        assert [lost for lost, _ in trace] == batch.tolist()
+        replay = GilbertElliottChannel(params, seed=21)
+        assert [(replay.next_outcome(), replay.in_bad_state)
+                for _ in range(2_000)] == trace
+
+    def test_different_seeds_diverge(self):
+        params = GilbertElliottParams(0.05, 0.08, 0.01, 0.7)
+        a = GilbertElliottChannel(params, seed=1).outcomes(5_000)
+        b = GilbertElliottChannel(params, seed=2).outcomes(5_000)
+        assert not np.array_equal(a, b)
 
     def test_state_exposed(self):
         channel = GilbertElliottChannel(

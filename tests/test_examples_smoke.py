@@ -15,7 +15,7 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 #: Examples cheap enough to execute end-to-end in the test suite.
-FAST_EXAMPLES = ["custom_pipeline.py"]
+FAST_EXAMPLES = ["custom_pipeline.py", "resilient_link_demo.py"]
 
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
@@ -32,6 +32,7 @@ class TestExamples:
             "deployment_checklist.py",
             "adaptive_fall_monitor.py",
             "clinical_alerts.py",
+            "resilient_link_demo.py",
         }
 
     @pytest.mark.parametrize("name", ALL_EXAMPLES)

@@ -161,3 +161,43 @@ class TestSimulator:
             CrossEndSimulator(sensor, period_s=0.0)
         with pytest.raises(ConfigurationError):
             CrossEndSimulator(sensor, period_s=1.0).run(0)
+
+
+class TestSimulatorEdgeCases:
+    def test_zero_and_negative_event_counts_rejected(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        sim = CrossEndSimulator(sensor, period_s=0.5)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+        with pytest.raises(ConfigurationError):
+            sim.run(-5)
+
+    def test_single_event_report_is_consistent(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        report = CrossEndSimulator(sensor, period_s=0.5).run(1)
+        assert len(report.events) == 1
+        assert report.mean_latency_s == report.max_latency_s
+        assert report.mean_latency_s == pytest.approx(sensor.delay_total_s)
+        assert report.sensor_energy_j == pytest.approx(sensor.sensor_total_j)
+        assert report.latency_percentile(0) == report.latency_percentile(100)
+        assert report.deadline_misses == 0
+
+    def test_percentile_bounds_are_min_and_max(self, metrics_pair):
+        _, _, agg, _ = metrics_pair
+        bottleneck = max(agg.delay_front_s, agg.delay_link_s, agg.delay_back_s)
+        period = (bottleneck + agg.delay_total_s) / 2
+        report = CrossEndSimulator(agg, period_s=period).run(40)
+        latencies = [e.latency_s for e in report.events]
+        assert report.latency_percentile(0) == pytest.approx(min(latencies))
+        assert report.latency_percentile(100) == pytest.approx(max(latencies))
+        assert report.latency_percentile(100) == pytest.approx(
+            report.max_latency_s
+        )
+
+    def test_percentile_validation(self, metrics_pair):
+        _, sensor, _, _ = metrics_pair
+        report = CrossEndSimulator(sensor, period_s=0.5).run(3)
+        with pytest.raises(ConfigurationError):
+            report.latency_percentile(-0.1)
+        with pytest.raises(ConfigurationError):
+            report.latency_percentile(100.1)
