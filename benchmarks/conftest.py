@@ -10,23 +10,43 @@ pure Python and happens exactly once per session, inside the
 Every benchmark writes its regenerated table to ``benchmarks/results/`` so
 the paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
 single run.
+
+Setting ``XPRO_BENCH_FAST=1`` shrinks the training scale (fewer segments
+and subspace draws) for CI smoke runs.  The fault/integrity campaigns keep
+their full event counts and seeds, so the resilience assertions still
+exercise the real machinery — only the classifier training is reduced, and
+the regenerated tables are NOT paper-comparable in fast mode.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.core.pipeline import TrainingConfig
 from repro.eval.context import ExperimentContext
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+FAST_MODE = os.environ.get("XPRO_BENCH_FAST", "") not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def full_context():
-    """The full-scale experiment context, with all six cases pre-trained."""
-    ctx = ExperimentContext()
+    """The full-scale experiment context, with all six cases pre-trained.
+
+    Under ``XPRO_BENCH_FAST=1`` the context trains at smoke scale instead
+    (60 segments, 10 draws) so CI can exercise the benchmark paths in
+    seconds rather than minutes.
+    """
+    if FAST_MODE:
+        ctx = ExperimentContext(
+            n_segments=60, training=TrainingConfig(n_draws=10)
+        )
+    else:
+        ctx = ExperimentContext()
     for symbol in ctx.all_cases():
         ctx.engine(symbol)
     return ctx
@@ -34,11 +54,16 @@ def full_context():
 
 @pytest.fixture(scope="session")
 def save_table():
-    """Callable writing a rendered table to benchmarks/results/<name>.txt."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Callable writing a rendered table to benchmarks/results/<name>.txt.
+
+    Fast-mode runs write to ``benchmarks/results-fast/`` instead, so a CI
+    smoke run never clobbers the committed full-scale tables.
+    """
+    out_dir = RESULTS_DIR.with_name("results-fast") if FAST_MODE else RESULTS_DIR
+    out_dir.mkdir(exist_ok=True)
 
     def _save(name: str, text: str) -> None:
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}")
 
     return _save

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Wire integrity: what a CRC-16 trailer buys on a corrupting channel.
+
+The crossing payloads of a partitioned pipeline travel as real bytes:
+Q16.16 words behind a 5-byte frame header (version/flags, sequence
+number, payload length) and an optional CRC-16/CCITT trailer.  This demo
+shows the machinery at byte level, then replays one seeded bit-flip
+campaign under three wire formats:
+
+1. **no-crc** — payload bit flips decode into plausible-but-wrong
+   features; corruption is delivered silently;
+2. **crc16 detect-only** — every corruption is caught but the frame is
+   discarded, so corruption shows up as lost availability;
+3. **crc16 + seq retransmit** — a detected corruption counts as a lost
+   attempt and the bounded ARQ retransmits, restoring availability.
+
+No training involved — the campaign runs over a tiny hand-built
+partition, so the demo finishes in seconds.
+
+Run:  python examples/wire_integrity_demo.py
+"""
+
+from repro.hw.arq import ARQConfig
+from repro.hw.framing import (
+    FramingConfig,
+    FrameReassembler,
+    decode_frame,
+    decode_values,
+    encode_frame,
+    encode_values,
+)
+from repro.errors import IntegrityError
+from repro.eval.resilience import integrity_campaign
+from repro.sim.evaluate import PartitionMetrics
+from repro.sim.faults import IntegrityConfig
+from repro.sim.simulator import CrossEndSimulator
+
+N_EVENTS = 600
+SEED = 23
+CORRUPTION_RATE = 0.08
+
+
+def byte_level_walkthrough() -> None:
+    """Encode a feature vector, flip one bit, watch the CRC catch it."""
+    features = [1.25, -3.5, 0.0078125]
+    payload = encode_values(features)
+    print(f"features {features}")
+    print(f"  -> Q16.16 payload : {payload.hex()}")
+
+    cfg = FramingConfig(crc=True)
+    wire = encode_frame(payload, seq=0, config=cfg)
+    print(f"  -> framed (hdr+crc): {wire.hex()}  ({len(wire)} bytes)")
+    print(f"  -> decodes back to : {decode_values(payload)}")
+
+    # Flip a single payload bit mid-flight.
+    mutated = bytearray(wire)
+    mutated[7] ^= 0x10
+    try:
+        decode_frame(bytes(mutated), cfg)
+    except IntegrityError as exc:
+        print(f"  one flipped bit   : IntegrityError — {exc}")
+
+    # Without the CRC the same flip sails through as wrong numbers.
+    bare = FramingConfig(crc=False)
+    naked = bytearray(encode_frame(payload, seq=0, config=bare))
+    naked[7] ^= 0x10
+    frame = decode_frame(bytes(naked), bare)
+    print(f"  same flip, no CRC : silently decodes to "
+          f"{decode_values(frame.payload)}")
+
+    # The receiver-side reassembler keeps integrity counters.
+    rx = FrameReassembler(cfg)
+    rx.push(wire)
+    rx.push(bytes(mutated))
+    rx.push(wire)  # a duplicate of seq 0
+    c = rx.counters
+    print(f"  reassembler       : {c.frames_ok} ok, {c.frames_corrupt} "
+          f"corrupt, {c.frames_duplicate} duplicate "
+          f"(silent-escape estimate {c.silent_escape_estimate:.2e})\n")
+
+
+def synthetic_metrics() -> PartitionMetrics:
+    """A tiny hand-built partition — link behaviour needs no training."""
+    return PartitionMetrics(
+        in_sensor=frozenset(),
+        sensor_compute_j=1e-6,
+        sensor_tx_j=1e-6,
+        sensor_rx_j=1e-7,
+        delay_front_s=1e-3,
+        delay_link_s=2e-3,
+        delay_back_s=1e-3,
+        aggregator_cpu_j=1e-6,
+        aggregator_radio_j=1e-6,
+        crossing_bits_up=256,
+        crossing_bits_down=0,
+    )
+
+
+def describe(label: str, report) -> None:
+    """Print the wire-integrity figures of one campaign run."""
+    detection = report.corruption_detection_rate
+    detected = f"{detection:.1%}" if detection == detection else "n/a"
+    print(f"  {label}")
+    print(f"    availability        : {report.availability:.2%}")
+    print(f"    frames corrupted    : {report.frames_corrupted} "
+          f"({detected} detected, {report.corruptions_silent} silent)")
+    print(f"    corrupted delivered : {report.corrupted_deliveries}")
+    print(f"    integrity discards  : {report.integrity_discards}, "
+          f"retransmissions: {report.retransmissions}")
+
+
+def main() -> None:
+    print("== Byte level: frame / flip / detect ==\n")
+    byte_level_walkthrough()
+
+    print(f"== Campaign: {N_EVENTS} events, burst loss + "
+          f"{CORRUPTION_RATE:.0%} bit-flip rate, seed {SEED} ==\n")
+    metrics = synthetic_metrics()
+    arq = ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0)
+
+    scenarios = [
+        ("[1] no-crc (silent acceptance)",
+         IntegrityConfig(framing=FramingConfig(crc=False))),
+        ("[2] crc16 detect-only (discard on corruption)",
+         IntegrityConfig(framing=FramingConfig(crc=True),
+                         retransmit_on_corrupt=False)),
+        ("[3] crc16 + seq retransmit (corruption = lost attempt)",
+         IntegrityConfig(framing=FramingConfig(crc=True),
+                         retransmit_on_corrupt=True)),
+    ]
+    for label, integrity in scenarios:
+        simulator = CrossEndSimulator(metrics, period_s=0.25, seed=SEED)
+        campaign = integrity_campaign(
+            N_EVENTS, seed=SEED, corruption_rate=CORRUPTION_RATE
+        )
+        report = campaign.run(
+            simulator, N_EVENTS, arq=arq, integrity=integrity
+        )
+        describe(label, report)
+        print()
+
+    print("Scenario [1] looks available while quietly delivering wrong "
+          "features;\n[2] surfaces every corruption as lost availability; "
+          "[3] pays\nretransmissions to get both integrity and availability.")
+
+
+if __name__ == "__main__":
+    main()

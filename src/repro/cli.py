@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro partition --case E1 --node 90nm --wireless model2
     python -m repro headline --segments 240 --draws 40
     python -m repro resilience --case C1 --events 2000
+    python -m repro integrity --case C1 --events 2000
 
 The figure/headline commands accept ``--segments`` / ``--draws`` to trade
 harness scale for runtime (the full-scale defaults match the benchmark
@@ -101,6 +102,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="campaign seed (default: %(default)s)",
     )
     _add_scale_args(res)
+
+    integ = sub.add_parser(
+        "integrity",
+        help="compare wire formats (no-CRC / CRC-16 / CRC+seq) under bit flips",
+    )
+    integ.add_argument("--case", default="C1", help="Table 1 case symbol")
+    integ.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    integ.add_argument(
+        "--wireless", default="model2", choices=["model1", "model2", "model3"]
+    )
+    integ.add_argument(
+        "--events", type=int, default=2000,
+        help="events to stream through the campaign (default: %(default)s)",
+    )
+    integ.add_argument(
+        "--seed", type=int, default=11,
+        help="campaign seed (default: %(default)s)",
+    )
+    integ.add_argument(
+        "--corruption-rate", type=float, default=0.05,
+        help="per-frame bit-flip probability (default: %(default)s)",
+    )
+    _add_scale_args(integ)
 
     insp = sub.add_parser(
         "inspect",
@@ -219,6 +243,26 @@ def _cmd_resilience(args: argparse.Namespace) -> str:
     return scenario_table + "\n\n" + model_table
 
 
+def _cmd_integrity(args: argparse.Namespace) -> str:
+    from repro.eval.resilience import integrity_rows
+
+    ctx = _context(args)
+    symbol = args.case.upper()
+    return format_table(
+        integrity_rows(
+            ctx, symbol, args.node, args.wireless,
+            n_events=args.events, seed=args.seed,
+            corruption_rate=args.corruption_rate,
+        ),
+        title=(
+            f"Wire integrity under bit-flip injection ({symbol} at "
+            f"{args.node} / {args.wireless}, {args.events} events, "
+            f"corruption rate {args.corruption_rate:g}, seed {args.seed})"
+        ),
+        float_format="{:.4g}",
+    )
+
+
 def _cmd_inspect(args: argparse.Namespace) -> str:
     from repro.cells.validate import lint_topology
     from repro.hw.area import area_report
@@ -256,6 +300,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "report": _cmd_report,
     "inspect": _cmd_inspect,
+    "integrity": _cmd_integrity,
     "resilience": _cmd_resilience,
     "validate": _cmd_validate,
 }

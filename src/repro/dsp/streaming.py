@@ -52,10 +52,17 @@ class StreamingMoments:
         return self._n
 
     def update(self, sample: float) -> None:
-        """Consume one sample (one clock of the hardware datapath)."""
+        """Consume one sample (one clock of the hardware datapath).
+
+        Rejects *any* non-finite sample: a NaN poisons every raw sum, and
+        a single ``inf`` saturates max/min and the power sums just as
+        irrecoverably — a real ADC cannot produce either.
+        """
         x = float(sample)
-        if math.isnan(x):
-            raise ConfigurationError("cannot accumulate NaN samples")
+        if not math.isfinite(x):
+            raise ConfigurationError(
+                f"cannot accumulate non-finite sample {x!r}"
+            )
         self._n += 1
         self._s1 += x
         x2 = x * x
@@ -73,15 +80,24 @@ class StreamingMoments:
             self.update(sample)
 
     def merge(self, other: "StreamingMoments") -> "StreamingMoments":
-        """Combine two accumulators (parallel sub-segment datapaths)."""
+        """Combine two accumulators (parallel sub-segment datapaths).
+
+        An empty side contributes nothing: its ``±inf`` extrema sentinels
+        are never allowed to leak into the merged max/min.
+        """
         out = StreamingMoments()
         out._n = self._n + other._n
         out._s1 = self._s1 + other._s1
         out._s2 = self._s2 + other._s2
         out._s3 = self._s3 + other._s3
         out._s4 = self._s4 + other._s4
-        out._max = max(self._max, other._max)
-        out._min = min(self._min, other._min)
+        if self._n == 0:
+            out._max, out._min = other._max, other._min
+        elif other._n == 0:
+            out._max, out._min = self._max, self._min
+        else:
+            out._max = max(self._max, other._max)
+            out._min = min(self._min, other._min)
         return out
 
     def finalize(self) -> Dict[str, float]:
@@ -92,6 +108,8 @@ class StreamingMoments:
         ``skew = m3 / m2^1.5``, ``kurt = m4 / m2^2``.
         """
         if self._n == 0:
+            # Refuse rather than leak the ±inf extrema sentinels (and a
+            # division by zero) into downstream features.
             raise ConfigurationError("finalize() before any samples")
         n = self._n
         mean = self._s1 / n

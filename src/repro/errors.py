@@ -34,6 +34,16 @@ class InfeasibleConstraintError(PartitionError):
     """
 
 
+class DataValidationError(ConfigurationError):
+    """Input data failed validation (non-finite samples, empty or
+    inconsistent datasets).  Subclasses :class:`ConfigurationError` so
+    existing handlers keep working."""
+
+
+class IntegrityError(XProError):
+    """A wire-format integrity check failed (bad frame, CRC mismatch)."""
+
+
 class SimulationError(XProError):
     """The cross-end system simulator reached an inconsistent state."""
 

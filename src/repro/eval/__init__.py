@@ -8,8 +8,9 @@
 - :mod:`repro.eval.tables` -- plain-text rendering of result tables in the
   paper's shape.
 - :mod:`repro.eval.resilience` -- availability/latency under seeded fault
-  campaigns, comparing unbounded stop-and-wait, bounded-retry ARQ and
-  graceful degradation.
+  campaigns (unbounded stop-and-wait vs bounded-retry ARQ vs graceful
+  degradation) and the wire-integrity comparison (no-CRC vs CRC-16 vs
+  CRC + sequence-aware retransmission over real framed payloads).
 """
 
 from repro.eval.charts import bar_chart
@@ -21,6 +22,9 @@ from repro.eval.report import generate_report, write_report
 from repro.eval.resilience import (
     arq_model_rows,
     default_campaign,
+    integrity_campaign,
+    integrity_reports,
+    integrity_rows,
     resilience_reports,
     resilience_rows,
 )
@@ -44,6 +48,9 @@ __all__ = [
     "bar_chart",
     "codesign_rows",
     "default_campaign",
+    "integrity_campaign",
+    "integrity_reports",
+    "integrity_rows",
     "motivation_rows",
     "generate_report",
     "pareto_frontier",

@@ -11,6 +11,9 @@ transceiver designs (Section 4.2/4.3):
   common packet protocol (8-bit header per payload).
 - :mod:`repro.hw.arq` -- bounded-retry stop-and-wait ARQ with the
   truncated-geometric transmission model (the resilience extension).
+- :mod:`repro.hw.framing` -- byte-level data-plane framing: Q16.16
+  payload serialisation, CRC-16/CCITT trailers, sequence numbers and
+  the receiver-side reassembler with integrity counters.
 - :mod:`repro.hw.battery` -- Polymer Li-Ion runtime model.
 - :mod:`repro.hw.aggregator` -- ARM Cortex-A8-class CPU energy/latency model
   for the in-aggregator software cells.
@@ -18,6 +21,19 @@ transceiver designs (Section 4.2/4.3):
 
 from repro.hw.aggregator import AggregatorCPU
 from repro.hw.arq import ARQConfig, ARQOutcome, UNBOUNDED_ARQ
+from repro.hw.framing import (
+    CRC16_ESCAPE_PROBABILITY,
+    Frame,
+    FrameReassembler,
+    FramingConfig,
+    IntegrityCounters,
+    crc16_ccitt,
+    decode_frame,
+    decode_values,
+    encode_frame,
+    encode_values,
+    fragment_payload,
+)
 from repro.hw.area import AreaReport, area_report, cell_gate_equivalents
 from repro.hw.battery import BatteryModel, SENSOR_BATTERY, AGGREGATOR_BATTERY
 from repro.hw.energy import (
@@ -37,6 +53,17 @@ __all__ = [
     "ARQOutcome",
     "UNBOUNDED_ARQ",
     "AreaReport",
+    "CRC16_ESCAPE_PROBABILITY",
+    "Frame",
+    "FrameReassembler",
+    "FramingConfig",
+    "IntegrityCounters",
+    "crc16_ccitt",
+    "decode_frame",
+    "decode_values",
+    "encode_frame",
+    "encode_values",
+    "fragment_payload",
     "BLE_MODEL",
     "DEFAULT_POWER_GATING",
     "PowerGatingModel",

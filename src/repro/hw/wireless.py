@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
+from repro.hw.framing import FramingConfig
 
 _NJ = 1e-9
 
@@ -112,6 +113,13 @@ class WirelessLink:
             ``[0, 1]`` with a bounded ARQ policy.
         arq: Retransmission policy; None selects the legacy unbounded
             stop-and-wait model (the paper-compatible default).
+        framing: Optional data-plane framing (:mod:`repro.hw.framing`).
+            ``None`` reproduces the paper's zero-overhead accounting
+            bit-for-bit: one 8-bit radio header per payload, no frame
+            headers, no CRC.  With a :class:`FramingConfig` the payload is
+            serialised into frames and every frame is charged its header,
+            its optional CRC-16 trailer and its own radio header — the
+            honest cost of wire integrity.
     """
 
     def __init__(
@@ -119,9 +127,11 @@ class WirelessLink:
         model: TransceiverModel | str = "model2",
         loss_rate: float = 0.0,
         arq: Optional[ARQConfig] = None,
+        framing: Optional[FramingConfig] = None,
     ) -> None:
         self.model = get_wireless_model(model) if isinstance(model, str) else model
         self.arq = UNBOUNDED_ARQ if arq is None else arq
+        self.framing = framing
         if not 0.0 <= loss_rate <= 1.0:
             raise ConfigurationError("loss_rate must be in [0, 1]")
         if loss_rate == 1.0 and not self.arq.bounded:
@@ -143,12 +153,33 @@ class WirelessLink:
         return self.arq.delivery_probability(self.loss_rate)
 
     def payload_bits(self, n_values: int, bits_per_value: int) -> int:
-        """Total on-air bits for one payload of ``n_values`` samples."""
+        """Total on-air bits for one payload of ``n_values`` samples.
+
+        Without framing this is the paper's accounting: raw value bits
+        plus one 8-bit radio header.  With framing, the values are packed
+        into bytes and fragmented into frames, and each frame pays its
+        5-byte header, its CRC-16 trailer (when enabled) and its own radio
+        header.
+        """
         if n_values < 0 or bits_per_value <= 0:
             raise ConfigurationError("invalid payload shape")
         if n_values == 0:
             return 0
-        return n_values * bits_per_value + self.model.header_bits
+        if self.framing is None:
+            return n_values * bits_per_value + self.model.header_bits
+        payload_bytes = -(-n_values * bits_per_value // 8)
+        n_frames = self.framing.frame_count(payload_bytes)
+        return (
+            self.framing.framed_bits(payload_bytes)
+            + n_frames * self.model.header_bits
+        )
+
+    def framing_overhead_bits(self, n_values: int, bits_per_value: int) -> int:
+        """Extra on-air bits the framing layer adds over the legacy path."""
+        if self.framing is None or n_values == 0:
+            return 0
+        legacy = n_values * bits_per_value + self.model.header_bits
+        return self.payload_bits(n_values, bits_per_value) - legacy
 
     def tx_energy(self, n_values: int, bits_per_value: int) -> float:
         """Sensor-side energy (J) to transmit one payload (retries included)."""

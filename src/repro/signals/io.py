@@ -11,6 +11,11 @@ holds the real archives can run the evaluation on them directly:
   interchange for any :class:`~repro.signals.datasets.BiosignalDataset`
   (e.g. to freeze a synthetic dataset for exact cross-machine
   reproducibility).
+
+Both loaders validate their input: non-finite samples (NaN/Inf), empty
+datasets and label/series length mismatches raise
+:class:`~repro.errors.DataValidationError` instead of propagating garbage
+into feature extraction and training.
 """
 
 from __future__ import annotations
@@ -20,10 +25,28 @@ from typing import Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataValidationError
 from repro.signals.datasets import BiosignalDataset, DatasetSpec
 
 PathLike = Union[str, pathlib.Path]
+
+
+def _validate_segments(segments: np.ndarray, source: str) -> None:
+    """Reject datasets the downstream pipeline would silently mangle.
+
+    Raises :class:`~repro.errors.DataValidationError` (a
+    :class:`~repro.errors.ConfigurationError` subclass) on empty data or
+    non-finite samples — a NaN or ``inf`` would otherwise propagate
+    through feature extraction and training as garbage, not as an error.
+    """
+    if segments.size == 0:
+        raise DataValidationError(f"{source}: dataset contains no samples")
+    if not np.isfinite(segments).all():
+        n_bad = int(np.size(segments) - np.count_nonzero(np.isfinite(segments)))
+        raise DataValidationError(
+            f"{source}: {n_bad} non-finite sample(s) (NaN/Inf); "
+            "clean or impute the data before loading"
+        )
 
 
 def load_ucr_file(
@@ -75,6 +98,7 @@ def load_ucr_file(
         )
 
     data = np.asarray(rows)
+    _validate_segments(data, f"UCR file {target}")
     raw_labels = data[:, 0]
     segments = data[:, 1:]
     distinct = sorted(set(raw_labels.tolist()))
@@ -120,6 +144,16 @@ def load_npz(path: PathLike) -> BiosignalDataset:
         with np.load(pathlib.Path(path), allow_pickle=False) as bundle:
             segments = bundle["segments"]
             labels = bundle["labels"]
+            if segments.ndim != 2:
+                raise DataValidationError(
+                    f"{path}: segments must be 2-D, got shape {segments.shape}"
+                )
+            if len(labels) != len(segments):
+                raise DataValidationError(
+                    f"{path}: {len(labels)} labels for {len(segments)} "
+                    "segments (label/series length mismatch)"
+                )
+            _validate_segments(segments, str(path))
             spec = DatasetSpec(
                 symbol=str(bundle["symbol"]),
                 source_name=str(bundle["source_name"]),

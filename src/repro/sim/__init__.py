@@ -9,7 +9,8 @@
   the static model and to detect real-time overruns.
 - :mod:`repro.sim.faults` -- composable fault models (outages, burst loss,
   corruption, brownouts, stalls) and seeded fault-injection campaigns with
-  bounded-retry ARQ and graceful degradation.
+  bounded-retry ARQ, graceful degradation and an optional byte-level data
+  plane (real frames, real bit flips, CRC-verified delivery).
 """
 
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
@@ -21,6 +22,7 @@ from repro.sim.faults import (
     DecisionRecord,
     FaultCampaign,
     FaultModel,
+    IntegrityConfig,
     LinkOutage,
     PayloadCorruption,
     ResilienceReport,
@@ -43,6 +45,7 @@ __all__ = [
     "FaultModel",
     "GilbertElliottChannel",
     "GilbertElliottParams",
+    "IntegrityConfig",
     "LinkOutage",
     "PayloadCorruption",
     "ResilienceReport",

@@ -9,8 +9,10 @@ failure modes a deployed wearable actually sees:
 - :class:`BurstLoss` — clustered payload loss from a Gilbert-Elliott chain
   (:mod:`repro.sim.channel`), advanced once per *transmission attempt* so
   retries inside a burst keep failing;
-- :class:`PayloadCorruption` — random CRC failures: the payload arrives but
-  is unusable, indistinguishable from loss to the ARQ layer;
+- :class:`PayloadCorruption` — corruption of delivered bits, in two modes:
+  abstract *erasure* (a coin flip indistinguishable from loss to the ARQ
+  layer, the PR 1 behaviour) and byte-level *bitflip* (real bits of real
+  encoded frames are mutated, so a CRC has to earn its detections);
 - :class:`SensorBrownout` — battery-sag windows in which the sensor cannot
   acquire or compute at all;
 - :class:`AggregatorStall` — back-end service-time inflation (GC pause,
@@ -35,13 +37,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.degrade import GracefulDegradationPolicy, LastKnownGoodCache
-from repro.errors import ConfigurationError, SimulationError
+from repro.dsp.fixedpoint import quantize_array
+from repro.errors import ConfigurationError, IntegrityError, SimulationError
 from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
+from repro.hw.framing import (
+    SEQ_MODULUS,
+    FramingConfig,
+    decode_frame,
+    encode_values,
+    fragment_payload,
+)
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams
 from repro.sim.evaluate import PartitionMetrics
 from repro.sim.simulator import CrossEndSimulator
@@ -73,6 +83,12 @@ class FaultModel:
     def stall_s(self, event_index: int) -> float:
         """Extra aggregator service time (s) injected into this event."""
         return 0.0
+
+    def corrupt_frame(
+        self, event_index: int, attempt: int, frame_index: int, data: bytes
+    ) -> bytes:
+        """Mutate the on-air bytes of one frame (identity by default)."""
+        return data
 
 
 def _check_window(start_event: int, n_events: int) -> None:
@@ -136,36 +152,86 @@ class BurstLoss(FaultModel):
 
 @dataclass
 class PayloadCorruption(FaultModel):
-    """Random CRC failures: delivered bits that fail the integrity check.
+    """Corruption of delivered bits, abstract or byte-level.
 
-    To the ARQ layer a corrupted payload is a lost payload (no valid ACK),
-    so this composes with the loss sources as an additional per-attempt
-    failure probability.
+    Two modes:
+
+    - ``"erasure"`` (default, the PR 1 behaviour): an abstract coin flip —
+      the payload arrives but is declared unusable, indistinguishable from
+      loss to the ARQ layer.  The CRC is *assumed* perfect.
+    - ``"bitflip"``: no abstract loss; instead :meth:`corrupt_frame`
+      mutates 1..``max_bit_flips`` random bits of the real encoded frame
+      bytes with probability ``rate`` per frame.  Detection is then up to
+      the receiver's actual integrity checks (:mod:`repro.hw.framing`) —
+      without a CRC the corruption is silent by construction.
+
+    A fully-corrupting channel (``rate = 1.0``) is legal in both modes: in
+    erasure mode every attempt fails, so an *unbounded* ARQ policy raises
+    :class:`~repro.errors.SimulationError` once it hits its simulated-try
+    cap, while a bounded policy saturates at ``max_retries + 1`` tries and
+    drops the payload — exactly the ``loss_rate = 1.0`` semantics of
+    :class:`~repro.hw.arq.ARQConfig` (see
+    ``ARQConfig.expected_transmissions``), never an infinite loop.
 
     Attributes:
-        rate: Per-attempt corruption probability in [0, 1).
+        rate: Per-attempt (erasure) or per-frame (bitflip) corruption
+            probability in [0, 1].
+        mode: ``"erasure"`` or ``"bitflip"``.
+        max_bit_flips: Upper bound on flipped bits per corrupted frame
+            (bitflip mode); the actual count is uniform in
+            ``[1, max_bit_flips]``.
     """
 
     rate: float = 0.01
+    mode: str = "erasure"
+    max_bit_flips: int = 4
     _rng: Optional[np.random.Generator] = field(
         default=None, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.rate < 1.0:
-            raise ConfigurationError("rate must be in [0, 1)")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError("rate must be in [0, 1]")
+        if self.mode not in ("erasure", "bitflip"):
+            raise ConfigurationError(
+                f"mode must be 'erasure' or 'bitflip', got {self.mode!r}"
+            )
+        if self.max_bit_flips < 1:
+            raise ConfigurationError("max_bit_flips must be >= 1")
 
     def reset(self, rng: np.random.Generator) -> None:
         """Derive a private RNG from the campaign seed stream."""
         self._rng = np.random.default_rng(int(rng.integers(2**31)))
 
-    def try_lost(self, event_index: int, attempt: int) -> bool:
-        """Corrupt this attempt with probability ``rate``."""
+    def _require_rng(self) -> np.random.Generator:
         if self._rng is None:
             raise ConfigurationError(
                 "PayloadCorruption used outside a campaign: call reset() first"
             )
-        return bool(self._rng.random() < self.rate)
+        return self._rng
+
+    def try_lost(self, event_index: int, attempt: int) -> bool:
+        """Erasure mode: corrupt this attempt with probability ``rate``."""
+        if self.mode != "erasure":
+            return False
+        return bool(self._require_rng().random() < self.rate)
+
+    def corrupt_frame(
+        self, event_index: int, attempt: int, frame_index: int, data: bytes
+    ) -> bytes:
+        """Bitflip mode: flip random bits of the frame with prob ``rate``."""
+        if self.mode != "bitflip" or not data:
+            return data
+        rng = self._require_rng()
+        if rng.random() >= self.rate:
+            return data
+        n_flips = int(rng.integers(1, self.max_bit_flips + 1))
+        n_flips = min(n_flips, len(data) * 8)
+        positions = rng.choice(len(data) * 8, size=n_flips, replace=False)
+        mutated = bytearray(data)
+        for pos in positions:
+            mutated[int(pos) // 8] ^= 1 << (int(pos) % 8)
+        return bytes(mutated)
 
 
 @dataclass
@@ -228,6 +294,9 @@ class DecisionRecord:
         fallback: Whether the degradation policy had the deployment on the
             in-sensor fallback cut for this event.
         staleness: Age (events) of the served decision; 0 when fresh.
+        corrupted: Whether the delivered payload differed from the sent
+            one (silent corruption reached the decision layer); only ever
+            True in byte-level integrity runs.
     """
 
     index: int
@@ -236,6 +305,7 @@ class DecisionRecord:
     latency_s: float
     fallback: bool
     staleness: int
+    corrupted: bool = False
 
 
 @dataclass(frozen=True)
@@ -251,6 +321,16 @@ class ResilienceReport:
         retransmissions: Total retransmissions across the run.
         fallback_events: Events served while on the fallback cut.
         deadline_misses: Served events whose latency exceeded the period.
+        frames_sent: Frames put on the air (byte-level integrity runs only;
+            retransmitted frames count every time).
+        frames_corrupted: Arrived frames whose bytes were mutated in flight.
+        corruptions_detected: Arrived frames the receiver's integrity
+            checks rejected (CRC/structural failures).
+        corrupted_deliveries: Events delivered with a payload that differed
+            from the transmitted one — silent corruption that reached the
+            decision layer.
+        integrity_discards: Events whose payload a detect-only receiver
+            (CRC without retransmission) discarded after delivery.
     """
 
     records: List[DecisionRecord]
@@ -260,6 +340,11 @@ class ResilienceReport:
     retransmissions: int
     fallback_events: int
     deadline_misses: int
+    frames_sent: int = 0
+    frames_corrupted: int = 0
+    corruptions_detected: int = 0
+    corrupted_deliveries: int = 0
+    integrity_discards: int = 0
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.records if r.status == status)
@@ -323,6 +408,67 @@ class ResilienceReport:
         served = self._served_latencies()
         return float(np.percentile(served, percentile)) if served else math.nan
 
+    # -- integrity (byte-level runs) ----------------------------------------------
+
+    @property
+    def corruptions_silent(self) -> int:
+        """Mutated frames that slipped past the receiver's checks."""
+        return self.frames_corrupted - self.corruptions_detected
+
+    @property
+    def corruption_detection_rate(self) -> float:
+        """Fraction of mutated arrived frames the receiver rejected.
+
+        NaN when the run saw no corrupted frames (nothing to detect).
+        """
+        if self.frames_corrupted == 0:
+            return math.nan
+        return self.corruptions_detected / self.frames_corrupted
+
+    @property
+    def corrupted_delivery_rate(self) -> float:
+        """Fraction of events whose delivered decision was corrupted."""
+        if not self.records:
+            return 0.0
+        return self.corrupted_deliveries / self.n_events
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Byte-level data-plane configuration of a campaign run.
+
+    When passed to :meth:`FaultCampaign.run`, every non-browned-out event
+    carries a *real* payload: ``values_per_payload`` Q16.16 words are
+    serialised, fragmented into frames (:mod:`repro.hw.framing`) and
+    pushed through every fault model's :meth:`~FaultModel.corrupt_frame`
+    hook on every transmission attempt.  The receiver then has to detect
+    the damage with the configured wire format:
+
+    - ``framing.crc = False`` models the unprotected baseline — payload
+      bit flips decode fine and reach the decision layer silently;
+    - ``framing.crc = True, retransmit_on_corrupt = False`` is a
+      detect-only receiver: corrupted payloads are discarded (converted
+      from silent corruption into visible unavailability);
+    - ``framing.crc = True, retransmit_on_corrupt = True`` additionally
+      treats a detected corruption like a lost attempt, so the bounded
+      ARQ budget is spent recovering the payload.
+
+    Attributes:
+        framing: Wire-format parameters shared by sender and receiver.
+        retransmit_on_corrupt: Whether a CRC failure triggers an ARQ
+            retransmission (sequence-aware NACK/timeout recovery) instead
+            of discarding the payload.
+        values_per_payload: Q16.16 words carried per event payload.
+    """
+
+    framing: FramingConfig = field(default_factory=FramingConfig)
+    retransmit_on_corrupt: bool = True
+    values_per_payload: int = 8
+
+    def __post_init__(self) -> None:
+        if self.values_per_payload < 1:
+            raise ConfigurationError("values_per_payload must be >= 1")
+
 
 class FaultCampaign:
     """A seeded, replayable composition of fault models.
@@ -374,6 +520,14 @@ class FaultCampaign:
         """Total aggregator stall injected into this event."""
         return sum(f.stall_s(event_index) for f in self.faults)
 
+    def corrupt_frame(
+        self, event_index: int, attempt: int, frame_index: int, data: bytes
+    ) -> bytes:
+        """Pipe one frame's on-air bytes through every fault model."""
+        for fault in self.faults:
+            data = fault.corrupt_frame(event_index, attempt, frame_index, data)
+        return data
+
     # -- the runner ---------------------------------------------------------------
 
     def run(
@@ -384,6 +538,7 @@ class FaultCampaign:
         policy: Optional[GracefulDegradationPolicy] = None,
         fallback_metrics: Optional[PartitionMetrics] = None,
         cache: Optional[LastKnownGoodCache] = None,
+        integrity: Optional[IntegrityConfig] = None,
     ) -> ResilienceReport:
         """Stream ``n_events`` through the system with faults injected.
 
@@ -405,6 +560,14 @@ class FaultCampaign:
             cache: Optional last-known-good cache; when given, dropped
                 payloads are served from it (status ``"degraded"``)
                 instead of being dropped outright.
+            integrity: Optional byte-level data plane.  When given, every
+                event's payload is really serialised, framed and exposed
+                to the fault models' ``corrupt_frame`` hooks, and the
+                report's integrity counters (frames sent/corrupted,
+                detections, silent corrupted deliveries, discards) are
+                populated.  Payload *content* is drawn deterministically
+                from the campaign seed, so runs stay bit-for-bit
+                reproducible.
 
         Returns:
             The :class:`ResilienceReport`; bit-for-bit identical across
@@ -437,6 +600,20 @@ class FaultCampaign:
         retransmissions = 0
         fallback_events = 0
         misses = 0
+
+        # Byte-level data-plane state (integrity runs only).  The payload
+        # generator is seeded from the campaign seed, independently of the
+        # fault models' RNG stream, so the same decisions cross the wire in
+        # every replay.
+        payload_rng = np.random.default_rng([self.seed, 0xF7A3])
+        seq_base = 0
+        wire = {
+            "frames_sent": 0,
+            "frames_corrupted": 0,
+            "corruptions_detected": 0,
+            "corrupted_deliveries": 0,
+            "integrity_discards": 0,
+        }
 
         for k in range(n_events):
             release = k * period
@@ -473,9 +650,29 @@ class FaultCampaign:
             front_free = front_end
             sensor_j += active.sensor_compute_j
 
-            outcome = arq.simulate(
-                lambda attempt: self.try_lost(k, attempt), t_link
-            )
+            if integrity is None:
+                sent_payload = None
+                received = [None]
+                discarded = [False]
+                attempt_fn = lambda attempt: self.try_lost(k, attempt)  # noqa: E731
+            else:
+                values = quantize_array(
+                    payload_rng.uniform(
+                        -1000.0, 1000.0, integrity.values_per_payload
+                    )
+                )
+                sent_payload = encode_values(values)
+                frames = fragment_payload(
+                    sent_payload, seq_base, integrity.framing
+                )
+                seq_base = (seq_base + len(frames)) % SEQ_MODULUS
+                received = [None]
+                discarded = [False]
+                attempt_fn = self._make_wire_attempt(
+                    k, frames, integrity, wire, received, discarded
+                )
+
+            outcome = arq.simulate(attempt_fn, t_link)
             link_start = max(front_end, link_free)
             link_end = link_start + outcome.delay_s
             link_free = link_end
@@ -488,7 +685,19 @@ class FaultCampaign:
                 per_try_radio + active.aggregator_radio_j
             )
 
-            if outcome.delivered:
+            app_delivered = outcome.delivered
+            if app_delivered and discarded[0]:
+                # Detect-only CRC: the link delivered, the receiver's
+                # integrity check rejected the payload at the app layer.
+                wire["integrity_discards"] += 1
+                app_delivered = False
+
+            if app_delivered:
+                corrupted = (
+                    integrity is not None and received[0] != sent_payload
+                )
+                if corrupted:
+                    wire["corrupted_deliveries"] += 1
                 if policy is not None:
                     policy.observe(True)
                 if cache is not None:
@@ -500,7 +709,7 @@ class FaultCampaign:
                 latency = finish - release
                 records.append(
                     DecisionRecord(k, DELIVERED, outcome.tries, latency,
-                                   in_fallback, 0)
+                                   in_fallback, 0, corrupted)
                 )
             else:
                 if policy is not None:
@@ -536,7 +745,62 @@ class FaultCampaign:
             retransmissions=retransmissions,
             fallback_events=fallback_events,
             deadline_misses=misses,
+            frames_sent=wire["frames_sent"],
+            frames_corrupted=wire["frames_corrupted"],
+            corruptions_detected=wire["corruptions_detected"],
+            corrupted_deliveries=wire["corrupted_deliveries"],
+            integrity_discards=wire["integrity_discards"],
         )
+
+    def _make_wire_attempt(
+        self,
+        event_index: int,
+        frames: List[bytes],
+        integrity: IntegrityConfig,
+        wire: Dict[str, int],
+        received: List[Optional[bytes]],
+        discarded: List[bool],
+    ) -> Callable[[int], bool]:
+        """Build the per-attempt callback of one byte-level transmission.
+
+        Each attempt first consults the loss faults (the frames never
+        arrive), then pushes every frame's real bytes through the
+        ``corrupt_frame`` hooks and the receiver's frame decoder.  A
+        detected corruption either triggers a retransmission (counts as a
+        lost attempt) or marks the payload discarded, depending on
+        ``integrity.retransmit_on_corrupt``.
+        """
+
+        def attempt_fn(attempt: int) -> bool:
+            wire["frames_sent"] += len(frames)
+            if self.try_lost(event_index, attempt):
+                return True
+            parts: List[bytes] = []
+            detected = 0
+            mutated = 0
+            for i, raw in enumerate(frames):
+                on_air = self.corrupt_frame(event_index, attempt, i, raw)
+                if on_air != raw:
+                    mutated += 1
+                try:
+                    parts.append(
+                        decode_frame(on_air, integrity.framing).payload
+                    )
+                except IntegrityError:
+                    detected += 1
+            wire["frames_corrupted"] += mutated
+            wire["corruptions_detected"] += detected
+            if detected:
+                if integrity.retransmit_on_corrupt:
+                    return True
+                discarded[0] = True
+                received[0] = None
+                return False
+            discarded[0] = False
+            received[0] = b"".join(parts)
+            return False
+
+        return attempt_fn
 
 
 def _jittered(

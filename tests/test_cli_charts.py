@@ -39,6 +39,22 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "battery_x_vs_aggregator" in out
 
+    def test_integrity_small(self, capsys):
+        code = main(
+            [
+                "integrity",
+                "--case", "c1",
+                "--events", "300",
+                "--segments", "48",
+                "--draws", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Wire integrity under bit-flip injection" in out
+        assert "no-crc" in out
+        assert "crc16 + seq retransmit" in out
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "7"])

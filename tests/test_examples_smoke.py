@@ -15,7 +15,11 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 #: Examples cheap enough to execute end-to-end in the test suite.
-FAST_EXAMPLES = ["custom_pipeline.py", "resilient_link_demo.py"]
+FAST_EXAMPLES = [
+    "custom_pipeline.py",
+    "resilient_link_demo.py",
+    "wire_integrity_demo.py",
+]
 
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
@@ -33,6 +37,7 @@ class TestExamples:
             "adaptive_fall_monitor.py",
             "clinical_alerts.py",
             "resilient_link_demo.py",
+            "wire_integrity_demo.py",
         }
 
     @pytest.mark.parametrize("name", ALL_EXAMPLES)

@@ -79,7 +79,11 @@ class TestFaultModels:
         with pytest.raises(ConfigurationError):
             AggregatorStall(start_event=0, n_events=1, extra_delay_s=-1.0)
         with pytest.raises(ConfigurationError):
-            PayloadCorruption(rate=1.0)
+            PayloadCorruption(rate=1.5)
+        # A fully-corrupting channel (rate = 1.0) is legal: under bounded
+        # ARQ it saturates at max_retries + 1 tries, exactly like
+        # loss_rate = 1.0 (see tests/test_framing.py).
+        PayloadCorruption(rate=1.0)
 
     def test_stochastic_faults_require_reset(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,441 @@
+"""Tests for the byte-level data-plane integrity layer.
+
+Covers the Q16.16 payload serialiser (exact round-trips including the
+saturation boundaries), the frame codec and CRC-16, the receiver-side
+reassembler (duplicates, reordering, gaps), the framed
+:class:`~repro.hw.wireless.WirelessLink` accounting (with the legacy
+zero-overhead path bit-for-bit), and the seeded end-to-end campaign the
+PR's acceptance criteria name: bit flips into real encoded frames, CRC-16
+detection >= 99%, and silent acceptance without a CRC.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.fixedpoint import FixedPointFormat, Q16_16, quantize_array
+from repro.errors import ConfigurationError, IntegrityError
+from repro.hw.arq import ARQConfig
+from repro.hw.framing import (
+    CRC16_ESCAPE_PROBABILITY,
+    CRC_BYTES,
+    HEADER_BYTES,
+    SEQ_MODULUS,
+    FrameReassembler,
+    FramingConfig,
+    crc16_ccitt,
+    decode_frame,
+    decode_values,
+    encode_frame,
+    encode_values,
+    fragment_payload,
+)
+from repro.hw.wireless import WirelessLink
+from repro.sim.evaluate import PartitionMetrics
+from repro.sim.faults import (
+    FaultCampaign,
+    IntegrityConfig,
+    PayloadCorruption,
+)
+from repro.sim.simulator import CrossEndSimulator
+
+CFG = FramingConfig()
+NO_CRC = FramingConfig(crc=False)
+
+#: Byte-aligned formats the serialiser must round-trip exactly.
+FORMATS = [Q16_16, FixedPointFormat(8, 8), FixedPointFormat(24, 8)]
+
+
+def synthetic_metrics() -> PartitionMetrics:
+    """A tiny hand-built partition for link-level campaign tests."""
+    return PartitionMetrics(
+        in_sensor=frozenset(),
+        sensor_compute_j=1e-6,
+        sensor_tx_j=1e-6,
+        sensor_rx_j=1e-7,
+        delay_front_s=1e-3,
+        delay_link_s=2e-3,
+        delay_back_s=1e-3,
+        aggregator_cpu_j=1e-6,
+        aggregator_radio_j=1e-6,
+        crossing_bits_up=256,
+        crossing_bits_down=0,
+    )
+
+
+class TestCRC16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_single_bit_sensitivity(self):
+        base = crc16_ccitt(b"\x00" * 16)
+        for byte in range(16):
+            for bit in range(8):
+                data = bytearray(16)
+                data[byte] ^= 1 << bit
+                assert crc16_ccitt(bytes(data)) != base
+
+
+class TestSerializer:
+    @given(
+        st.lists(
+            st.floats(min_value=-40000.0, max_value=40000.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0, max_size=32,
+        ),
+        st.sampled_from(FORMATS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_is_quantization(self, values, fmt):
+        """decode(encode(x)) == quantize(x) for any finite input."""
+        arr = np.asarray(values, dtype=np.float64)
+        out = decode_values(encode_values(arr, fmt), fmt)
+        expected = quantize_array(arr, fmt) if arr.size else arr
+        assert np.array_equal(out, expected)
+
+    def test_saturation_boundaries_exact(self):
+        """Both rails of every format round-trip bit-identically."""
+        for fmt in FORMATS:
+            rails = np.array([
+                fmt.min_value, fmt.max_value,
+                fmt.min_value - 123.0, fmt.max_value + 123.0,
+                0.0, fmt.resolution, -fmt.resolution,
+            ])
+            out = decode_values(encode_values(rails, fmt), fmt)
+            assert np.array_equal(out, quantize_array(rails, fmt))
+            # Twice through the wire changes nothing further.
+            again = decode_values(encode_values(out, fmt), fmt)
+            assert np.array_equal(again, out)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ConfigurationError):
+            encode_values([math.nan])
+        with pytest.raises(ConfigurationError):
+            encode_values([math.inf])
+
+    def test_rejects_unaligned_format(self):
+        with pytest.raises(ConfigurationError):
+            encode_values([1.0], FixedPointFormat(7, 6))
+
+    def test_rejects_partial_words(self):
+        with pytest.raises(IntegrityError):
+            decode_values(b"\x00\x01\x02")
+
+
+class TestFrameCodec:
+    def test_header_and_trailer_sizes(self):
+        frame = encode_frame(b"\xAA" * 10, seq=5, config=CFG)
+        assert len(frame) == HEADER_BYTES + 10 + CRC_BYTES
+        frame = encode_frame(b"\xAA" * 10, seq=5, config=NO_CRC)
+        assert len(frame) == HEADER_BYTES + 10
+
+    def test_roundtrip_fields(self):
+        frame = decode_frame(
+            encode_frame(b"hello", seq=1234, config=CFG, last=False), CFG
+        )
+        assert frame.seq == 1234
+        assert frame.payload == b"hello"
+        assert not frame.last
+        assert frame.crc_protected
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_frame(b"x" * (CFG.max_payload_bytes + 1), 0, CFG)
+
+    def test_structural_checks(self):
+        frame = encode_frame(b"abc", 0, CFG)
+        with pytest.raises(IntegrityError):
+            decode_frame(frame[:3], CFG)  # shorter than a header
+        with pytest.raises(IntegrityError):
+            decode_frame(frame + b"\x00", CFG)  # length mismatch
+        with pytest.raises(IntegrityError):
+            decode_frame(frame, NO_CRC)  # CRC flag mismatch
+        bad_version = bytearray(frame)
+        bad_version[0] ^= 0xF0
+        with pytest.raises(IntegrityError):
+            decode_frame(bytes(bad_version), CFG)
+
+    @given(
+        payload=st.binary(min_size=0, max_size=64),
+        positions=st.lists(st.integers(min_value=0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_flip_anywhere_detected_or_bit_identical(self, payload, positions):
+        """Property: flip any bits of a CRC frame — decode either raises
+        or (if flips cancelled out) returns the bit-identical payload."""
+        raw = encode_frame(payload, seq=7, config=CFG)
+        mutated = bytearray(raw)
+        for pos in positions:
+            pos %= len(raw) * 8
+            mutated[pos // 8] ^= 1 << (pos % 8)
+        try:
+            frame = decode_frame(bytes(mutated), CFG)
+        except IntegrityError:
+            return
+        # Flips that cancelled (even count on one bit) leave the frame valid.
+        assert bytes(mutated) == raw
+        assert frame.payload == payload
+
+    @given(payload=st.binary(min_size=1, max_size=64),
+           data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_no_crc_payload_flip_is_silent(self, payload, data):
+        """Without a CRC, payload-confined damage decodes successfully."""
+        raw = encode_frame(payload, seq=7, config=NO_CRC)
+        bit = data.draw(
+            st.integers(min_value=HEADER_BYTES * 8, max_value=len(raw) * 8 - 1)
+        )
+        mutated = bytearray(raw)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        frame = decode_frame(bytes(mutated), NO_CRC)
+        assert frame.payload != payload  # corrupted, and nobody noticed
+
+
+class TestFragmentation:
+    def test_fragment_reassemble_roundtrip(self):
+        payload = bytes(range(256)) * 2
+        frames = fragment_payload(payload, 100, CFG)
+        assert len(frames) == CFG.frame_count(len(payload))
+        reasm = FrameReassembler(CFG)
+        outputs = [reasm.push(f) for f in frames]
+        assert outputs[:-1] == [None] * (len(frames) - 1)
+        assert outputs[-1] == payload
+        assert reasm.counters.payloads_ok == 1
+        assert reasm.counters.frames_ok == len(frames)
+
+    def test_empty_payload_still_frames(self):
+        frames = fragment_payload(b"", 0, CFG)
+        assert len(frames) == 1
+        assert FrameReassembler(CFG).push(frames[0]) == b""
+
+    def test_sequence_wraps(self):
+        frames = fragment_payload(b"x" * 130, SEQ_MODULUS - 1, CFG)
+        decoded = [decode_frame(f, CFG) for f in frames]
+        assert [f.seq for f in decoded] == [SEQ_MODULUS - 1, 0, 1]
+
+
+class TestFrameReassembler:
+    def test_corrupt_frame_counted_and_dropped(self):
+        reasm = FrameReassembler(CFG)
+        raw = bytearray(encode_frame(b"data", 0, CFG))
+        raw[6] ^= 0x01
+        assert reasm.push(bytes(raw)) is None
+        assert reasm.counters.frames_corrupt == 1
+        assert reasm.counters.frames_ok == 0
+
+    def test_duplicate_detected(self):
+        reasm = FrameReassembler(CFG)
+        frame = encode_frame(b"data", 0, CFG)
+        assert reasm.push(frame) == b"data"
+        assert reasm.push(frame) is None
+        assert reasm.counters.frames_duplicate == 1
+        assert reasm.counters.payloads_ok == 1
+
+    def test_gap_detected_and_resynced(self):
+        reasm = FrameReassembler(CFG)
+        reasm.push(encode_frame(b"a", 0, CFG))
+        # Frames 1 and 2 never arrive.
+        assert reasm.push(encode_frame(b"d", 3, CFG)) == b"d"
+        assert reasm.counters.sequence_gaps == 1
+        assert reasm.counters.frames_missing == 2
+
+    def test_reorder_counted_as_stale(self):
+        reasm = FrameReassembler(CFG)
+        reasm.push(encode_frame(b"b", 5, CFG))
+        assert reasm.push(encode_frame(b"a", 4, CFG)) is None
+        assert reasm.counters.frames_duplicate == 1
+
+    def test_silent_escape_estimate(self):
+        reasm = FrameReassembler(CFG)
+        assert reasm.counters.silent_escape_estimate == 0.0
+        reasm.counters.frames_corrupt = 1000
+        est = reasm.counters.silent_escape_estimate
+        assert est == pytest.approx(
+            1000 * CRC16_ESCAPE_PROBABILITY / (1 - CRC16_ESCAPE_PROBABILITY)
+        )
+
+    def test_reset_clears_state(self):
+        reasm = FrameReassembler(CFG)
+        reasm.push(encode_frame(b"a", 0, CFG, last=False))
+        reasm.reset()
+        assert reasm.counters.frames_total == 0
+        assert reasm.push(encode_frame(b"z", 40, CFG)) == b"z"
+
+
+class TestFramedWirelessLink:
+    def test_legacy_path_bit_for_bit(self):
+        """framing=None reproduces the paper's accounting exactly."""
+        plain = WirelessLink("model2")
+        for n, w in [(1, 32), (7, 32), (82, 16), (0, 32)]:
+            expected = 0 if n == 0 else n * w + plain.model.header_bits
+            assert plain.payload_bits(n, w) == expected
+            assert plain.framing_overhead_bits(n, w) == 0
+        assert plain.tx_energy(7, 32) == pytest.approx(
+            (7 * 32 + 8) * 1.53e-9
+        )
+
+    def test_framed_bits_accounting(self):
+        link = WirelessLink("model2", framing=CFG)
+        # 7 values * 32 bits = 28 bytes -> one frame.
+        bits = link.payload_bits(7, 32)
+        expected = 28 * 8 + CFG.overhead_bits_per_frame + link.model.header_bits
+        assert bits == expected
+        assert link.framing_overhead_bits(7, 32) == bits - (7 * 32 + 8)
+
+    def test_fragmentation_multiplies_overhead(self):
+        link = WirelessLink("model2", framing=FramingConfig(max_payload_bytes=16))
+        # 80 bytes across 5 frames of <= 16 bytes.
+        bits = link.payload_bits(20, 32)
+        per_frame = (
+            FramingConfig(max_payload_bytes=16).overhead_bits_per_frame
+            + link.model.header_bits
+        )
+        assert bits == 80 * 8 + 5 * per_frame
+
+    def test_no_crc_framing_is_cheaper(self):
+        with_crc = WirelessLink("model2", framing=CFG)
+        without = WirelessLink("model2", framing=NO_CRC)
+        assert without.payload_bits(8, 32) == with_crc.payload_bits(8, 32) - 16
+
+    def test_energy_and_delay_include_overhead(self):
+        plain = WirelessLink("model2")
+        framed = WirelessLink("model2", framing=CFG)
+        assert framed.tx_energy(8, 32) > plain.tx_energy(8, 32)
+        assert framed.transfer_delay(8, 32) > plain.transfer_delay(8, 32)
+        ratio = framed.tx_energy(8, 32) / plain.tx_energy(8, 32)
+        assert ratio == pytest.approx(
+            framed.payload_bits(8, 32) / plain.payload_bits(8, 32)
+        )
+
+
+class TestPayloadCorruptionModes:
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            PayloadCorruption(0.1, mode="nope")
+        with pytest.raises(ConfigurationError):
+            PayloadCorruption(1.5)
+        with pytest.raises(ConfigurationError):
+            PayloadCorruption(0.1, mode="bitflip", max_bit_flips=0)
+        # A fully-corrupting channel is now a legal configuration.
+        PayloadCorruption(1.0)
+        PayloadCorruption(1.0, mode="bitflip")
+
+    def test_bitflip_never_erases(self):
+        fault = PayloadCorruption(1.0, mode="bitflip")
+        fault.reset(np.random.default_rng(0))
+        assert not any(fault.try_lost(k, 1) for k in range(50))
+
+    def test_bitflip_mutates_real_bytes(self):
+        fault = PayloadCorruption(1.0, mode="bitflip", max_bit_flips=3)
+        fault.reset(np.random.default_rng(0))
+        raw = encode_frame(b"\x00" * 32, 0, CFG)
+        mutated = fault.corrupt_frame(0, 1, 0, raw)
+        assert mutated != raw
+        assert len(mutated) == len(raw)
+        flipped = sum(
+            bin(a ^ b).count("1") for a, b in zip(raw, mutated)
+        )
+        assert 1 <= flipped <= 3
+
+    def test_erasure_leaves_bytes_alone(self):
+        fault = PayloadCorruption(1.0, mode="erasure")
+        fault.reset(np.random.default_rng(0))
+        raw = encode_frame(b"\x01\x02", 0, CFG)
+        assert fault.corrupt_frame(0, 1, 0, raw) == raw
+
+
+class TestFullyCorruptingChannel:
+    """corruption rate -> 1.0 must saturate under bounded ARQ, not loop."""
+
+    def test_erasure_rate_one_saturates_like_loss_rate_one(self):
+        campaign = FaultCampaign([PayloadCorruption(1.0)], seed=1)
+        sim = CrossEndSimulator(synthetic_metrics(), period_s=0.25, seed=1)
+        arq = ARQConfig(max_retries=3)
+        report = campaign.run(sim, 50, arq=arq)
+        assert report.n_dropped == 50
+        assert report.worst_tries == arq.max_retries + 1
+        # The same saturation the closed-form loss model shows at p = 1.
+        assert arq.expected_transmissions(1.0) == arq.max_retries + 1
+
+    def test_erasure_rate_one_unbounded_raises_not_loops(self):
+        from repro.errors import SimulationError
+
+        campaign = FaultCampaign([PayloadCorruption(1.0)], seed=1)
+        sim = CrossEndSimulator(synthetic_metrics(), period_s=0.25, seed=1)
+        with pytest.raises(SimulationError):
+            campaign.run(sim, 5, arq=None)
+
+    def test_bitflip_rate_one_crc_saturates(self):
+        campaign = FaultCampaign(
+            [PayloadCorruption(1.0, mode="bitflip")], seed=1
+        )
+        sim = CrossEndSimulator(synthetic_metrics(), period_s=0.25, seed=1)
+        arq = ARQConfig(max_retries=3)
+        report = campaign.run(
+            sim, 30, arq=arq,
+            integrity=IntegrityConfig(framing=CFG, retransmit_on_corrupt=True),
+        )
+        # Every attempt corrupted and detected: the try budget saturates.
+        assert report.worst_tries == arq.max_retries + 1
+        assert report.corrupted_deliveries == 0
+        assert report.corruptions_detected >= report.frames_sent * 0.99
+
+
+class TestEndToEndIntegrityCampaign:
+    """The PR's seeded end-to-end acceptance test."""
+
+    ARQ = ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0)
+    N_EVENTS = 600
+    RATE = 0.08
+
+    def _run(self, crc: bool, retransmit: bool):
+        campaign = FaultCampaign(
+            [PayloadCorruption(self.RATE, mode="bitflip", max_bit_flips=4)],
+            seed=23,
+        )
+        sim = CrossEndSimulator(synthetic_metrics(), period_s=0.25, seed=23)
+        return campaign.run(
+            sim, self.N_EVENTS, arq=self.ARQ,
+            integrity=IntegrityConfig(
+                framing=FramingConfig(crc=crc),
+                retransmit_on_corrupt=retransmit,
+            ),
+        )
+
+    def test_crc16_detects_multibit_corruption(self):
+        report = self._run(crc=True, retransmit=True)
+        assert report.frames_corrupted > 20  # the campaign really corrupted
+        assert report.corruption_detection_rate >= 0.99
+        assert report.corrupted_deliveries == 0
+
+    def test_no_crc_silently_accepts_corrupted_features(self):
+        report = self._run(crc=False, retransmit=False)
+        assert report.corrupted_deliveries > 0
+        corrupted = [r for r in report.records if r.corrupted]
+        assert len(corrupted) == report.corrupted_deliveries
+        assert all(r.status == "delivered" for r in corrupted)
+        # Silent by construction: detection is (near) absent without a CRC.
+        assert report.corruptions_silent > 0
+
+    def test_detect_only_converts_corruption_to_discards(self):
+        report = self._run(crc=True, retransmit=False)
+        assert report.corrupted_deliveries == 0
+        assert report.integrity_discards > 0
+        assert report.availability < 1.0
+
+    def test_retransmit_recovers_what_detect_only_drops(self):
+        detect_only = self._run(crc=True, retransmit=False)
+        recovered = self._run(crc=True, retransmit=True)
+        assert recovered.availability > detect_only.availability
+        assert recovered.retransmissions > 0
+
+    def test_campaign_is_bit_for_bit_reproducible(self):
+        assert self._run(True, True) == self._run(True, True)
+        assert self._run(False, False) == self._run(False, False)

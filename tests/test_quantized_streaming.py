@@ -1,5 +1,7 @@
 """Tests for fixed-point-faithful execution and streaming features."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -114,6 +116,32 @@ class TestStreamingMoments:
     def test_nan_rejected(self):
         with pytest.raises(ConfigurationError):
             StreamingMoments().update(float("nan"))
+
+    def test_inf_rejected(self):
+        # An inf saturates the power sums and extrema as irrecoverably as
+        # a NaN poisons them; both are rejected at the update boundary.
+        with pytest.raises(ConfigurationError):
+            StreamingMoments().update(float("inf"))
+        with pytest.raises(ConfigurationError):
+            StreamingMoments().update(float("-inf"))
+
+    def test_merge_with_empty_side_keeps_finite_extrema(self):
+        filled = StreamingMoments()
+        filled.extend([1.0, 5.0, -2.0])
+        for merged in (
+            filled.merge(StreamingMoments()),
+            StreamingMoments().merge(filled),
+        ):
+            out = merged.finalize()
+            assert out["max"] == 5.0
+            assert out["min"] == -2.0
+            assert math.isfinite(out["max"]) and math.isfinite(out["min"])
+
+    def test_merge_of_two_empties_still_rejects_finalize(self):
+        merged = StreamingMoments().merge(StreamingMoments())
+        assert merged.count == 0
+        with pytest.raises(ConfigurationError):
+            merged.finalize()
 
     def test_constant_stream_degenerate_moments(self):
         acc = StreamingMoments()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import TrainingConfig, train_analytic_engine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataValidationError
 from repro.signals.datasets import load_case
 from repro.signals.io import load_npz, load_ucr_file, save_npz
 
@@ -81,6 +81,67 @@ class TestUCRLoader:
         bad.write_text("1,abc,2\n")
         with pytest.raises(ConfigurationError):
             load_ucr_file(bad)
+
+    def test_non_finite_samples_rejected(self, tmp_path, rng):
+        # IEEE float text parses fine, so nan/inf would flow straight into
+        # feature extraction without this guard.
+        for poison in ("nan", "inf", "-inf"):
+            path = tmp_path / f"poison_{poison.strip('-')}"
+            path.write_text(f"1,1.0,{poison},3.0\n2,0.5,0.5,0.5\n")
+            with pytest.raises(DataValidationError):
+                load_ucr_file(path)
+
+
+class TestNPZValidation:
+    def test_non_finite_samples_rejected(self, tmp_path):
+        path = tmp_path / "nan.npz"
+        segments = np.ones((4, 8))
+        segments[2, 3] = np.nan
+        np.savez(
+            path, segments=segments, labels=np.zeros(4, dtype=int),
+            symbol="X", source_name="x", modality="ecg", seed=0,
+        )
+        with pytest.raises(DataValidationError):
+            load_npz(path)
+
+    def test_label_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "mismatch.npz"
+        np.savez(
+            path, segments=np.ones((4, 8)), labels=np.zeros(3, dtype=int),
+            symbol="X", source_name="x", modality="ecg", seed=0,
+        )
+        with pytest.raises(DataValidationError):
+            load_npz(path)
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        np.savez(
+            path, segments=np.empty((0, 8)), labels=np.empty(0, dtype=int),
+            symbol="X", source_name="x", modality="ecg", seed=0,
+        )
+        with pytest.raises(DataValidationError):
+            load_npz(path)
+
+    def test_non_2d_segments_rejected(self, tmp_path):
+        path = tmp_path / "flat.npz"
+        np.savez(
+            path, segments=np.ones(8), labels=np.zeros(8, dtype=int),
+            symbol="X", source_name="x", modality="ecg", seed=0,
+        )
+        with pytest.raises(DataValidationError):
+            load_npz(path)
+
+    def test_validation_error_is_configuration_error(self, tmp_path):
+        # Compatibility contract: pre-existing `except ConfigurationError`
+        # handlers keep catching the new validation failures.
+        path = tmp_path / "nan2.npz"
+        segments = np.full((2, 4), np.inf)
+        np.savez(
+            path, segments=segments, labels=np.zeros(2, dtype=int),
+            symbol="X", source_name="x", modality="ecg", seed=0,
+        )
+        with pytest.raises(ConfigurationError):
+            load_npz(path)
 
 
 class TestNPZInterchange:
