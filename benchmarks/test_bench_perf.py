@@ -1,0 +1,83 @@
+"""Scalar-vs-batch performance benchmark and regression gate.
+
+Times the vectorized hot paths against their scalar references — feature
+extraction, multi-level DWT, ensemble inference and the end-to-end
+segment pipeline — and writes the machine-readable report to
+``benchmarks/results/BENCH_perf.json`` (``results-fast/`` under
+``XPRO_BENCH_FAST=1``).  See ``docs/PERFORMANCE.md`` for the report
+schema and the gate semantics.
+
+The regression gate compares the fresh report against the committed
+baseline: any tracked speedup ratio falling more than 25% below the
+baseline's gate floor fails.  Ratios of two timings on the same machine
+are compared (never absolute throughput), so the gate is portable across
+runner hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.perf import (
+    SCHEMA,
+    collect_perf_report,
+    compare_reports,
+    load_perf_report,
+    perf_rows,
+    write_perf_report,
+)
+from repro.eval.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+FAST_MODE = os.environ.get("XPRO_BENCH_FAST", "") not in ("", "0")
+
+#: The committed full-mode baseline the gate compares against.
+BASELINE_PATH = RESULTS_DIR / "BENCH_perf.json"
+
+
+@pytest.fixture(scope="module")
+def perf_report():
+    """One benchmark sweep per session, written to the results directory."""
+    report = collect_perf_report(fast=FAST_MODE)
+    out_dir = RESULTS_DIR.with_name("results-fast") if FAST_MODE else RESULTS_DIR
+    out_dir.mkdir(exist_ok=True)
+    write_perf_report(report, out_dir / "BENCH_perf.json")
+    return report
+
+
+def test_report_schema(perf_report, save_table):
+    assert perf_report["schema"] == SCHEMA
+    assert perf_report["tracked"], "no tracked metrics collected"
+    for name in perf_report["tracked"]:
+        assert name in perf_report["metrics"]
+        assert name in perf_report["gate"]
+    save_table("perf", format_table(perf_rows(perf_report), title="Batch speedups"))
+
+
+def test_batch_paths_equivalent(perf_report):
+    """Every timed batch path must agree with its scalar reference."""
+    disagreements = [
+        name
+        for name, case in perf_report["cases"].items()
+        if not case["equivalent"]
+    ]
+    assert not disagreements, f"scalar/batch mismatch in: {disagreements}"
+
+
+def test_extraction_speedup_floor(perf_report):
+    """Acceptance: >= 5x batch feature extraction at 256 segments."""
+    case = perf_report["cases"]["extraction"]
+    assert case["n_items"] >= 256
+    assert case["speedup"] >= 5.0, f"extraction speedup {case['speedup']:.2f} < 5"
+
+
+def test_regression_gate(perf_report):
+    """Fresh tracked ratios must stay within 25% of the committed baseline."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed baseline yet (benchmarks/results/BENCH_perf.json)")
+    baseline = load_perf_report(BASELINE_PATH)
+    failures = compare_reports(perf_report, baseline)
+    assert not failures, "perf regression gate failed:\n" + "\n".join(failures)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the committed perf baseline (benchmarks/results/BENCH_perf.json).
+
+Usage::
+
+    python scripts/update_perf_baseline.py [--runs 3] [--out PATH]
+
+Runs the full benchmark sweep ``--runs`` times plus one fast-mode run,
+keeps the first full run as the reported measurement, and sets each gate
+floor to ``GATE_MARGIN`` times the *minimum* tracked ratio observed across
+all runs.  Ratcheting the floors from a multi-run minimum keeps the 25%
+regression gate green under timer noise (single-run ratios vary ~±40% on
+busy runners) while a real regression — losing vectorization collapses
+every tracked ratio to ~1x — still fails by an order of magnitude.
+
+Run this after intentionally changing hot-path performance, and commit
+the refreshed JSON with the change.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.perf import GATE_MARGIN, collect_perf_report, write_perf_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--runs", type=int, default=3, help="full benchmark runs (default 3)"
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results/BENCH_perf.json",
+        help="output path (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+
+    reports = []
+    for i in range(args.runs):
+        print(f"full run {i + 1}/{args.runs} ...", flush=True)
+        reports.append(collect_perf_report(fast=False, include_fleet=(i == 0)))
+    print("fast-mode run ...", flush=True)
+    reports.append(collect_perf_report(fast=True, include_fleet=False))
+
+    baseline = reports[0]
+    for name in baseline["tracked"]:
+        observed = [r["metrics"][name] for r in reports]
+        baseline["gate"][name] = round(min(observed) * GATE_MARGIN, 2)
+        print(
+            f"{name}: observed {[round(v, 2) for v in observed]}"
+            f" -> gate floor {baseline['gate'][name]}"
+        )
+    path = write_perf_report(baseline, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro headline --segments 240 --draws 40
     python -m repro resilience --case C1 --events 2000
     python -m repro integrity --case C1 --events 2000
+    python -m repro perf --fast --baseline benchmarks/results/BENCH_perf.json
 
 The figure/headline commands accept ``--segments`` / ``--draws`` to trade
 harness scale for runtime (the full-scale defaults match the benchmark
@@ -125,6 +126,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-frame bit-flip probability (default: %(default)s)",
     )
     _add_scale_args(integ)
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark scalar vs vectorized hot paths, optionally gate vs a baseline",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of repeats per timed path (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke scale: single repeat, smaller fleet",
+    )
+    perf.add_argument(
+        "--no-fleet", action="store_true",
+        help="skip the (slower) parallel-fleet comparison",
+    )
+    perf.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable report (BENCH_perf.json schema)",
+    )
+    perf.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="run the regression gate against this committed baseline",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=None,
+        help="allowed fractional regression for the gate (default: 0.25)",
+    )
 
     insp = sub.add_parser(
         "inspect",
@@ -263,6 +293,37 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_perf(args: argparse.Namespace) -> str:
+    from repro.eval.perf import (
+        DEFAULT_THRESHOLD,
+        check_regression,
+        collect_perf_report,
+        load_perf_report,
+        perf_rows,
+        write_perf_report,
+    )
+
+    report = collect_perf_report(
+        fast=args.fast, repeats=args.repeats, include_fleet=not args.no_fleet
+    )
+    lines = [
+        format_table(
+            perf_rows(report),
+            title="Scalar vs vectorized hot paths",
+            float_format="{:.4g}",
+        )
+    ]
+    if args.json:
+        target = write_perf_report(report, args.json)
+        lines.append(f"perf report written to {target}")
+    if args.baseline:
+        baseline = load_perf_report(args.baseline)
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        check_regression(report, baseline, threshold)
+        lines.append(f"regression gate OK vs {args.baseline}")
+    return "\n".join(lines)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> str:
     from repro.cells.validate import lint_topology
     from repro.hw.area import area_report
@@ -298,6 +359,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "headline": _cmd_headline,
     "partition": _cmd_partition,
+    "perf": _cmd_perf,
     "report": _cmd_report,
     "inspect": _cmd_inspect,
     "integrity": _cmd_integrity,

@@ -110,6 +110,22 @@ class TrainedAnalyticEngine:
         normalised = self.normalizer.transform(raw)
         return int(self.ensemble.predict(normalised[None, :])[0])
 
+    def predict_batch(self, segments: np.ndarray) -> np.ndarray:
+        """Classify a ``(n_events, segment_length)`` batch in one pass.
+
+        Decision-identical to calling :meth:`predict_segment` per row, but
+        the whole front end is vectorised: batched feature extraction,
+        one normaliser transform, and one Gram-matrix call per base
+        classifier (see :class:`repro.ml.inference.EnsembleBatchScorer`)
+        instead of per-event kernel evaluations.
+        """
+        from repro.dsp.batch import batch_extract_matrix
+        from repro.ml.inference import EnsembleBatchScorer
+
+        raw = batch_extract_matrix(segments, self.layout)
+        normalised = self.normalizer.transform(raw)
+        return EnsembleBatchScorer(self.ensemble).predict(normalised)
+
 
 def _train_once(
     features: np.ndarray,

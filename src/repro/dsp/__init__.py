@@ -15,6 +15,7 @@ computes on a signal segment before it reaches the classifier:
 from repro.dsp.features import (
     FEATURE_NAMES,
     FeatureExtractor,
+    batch_feature_matrix,
     crossing_count,
     feature_vector,
     kurtosis,
@@ -28,7 +29,13 @@ from repro.dsp.features import (
 from repro.dsp.fixedpoint import FixedPoint, FixedPointFormat, Q16_16
 from repro.dsp.normalize import MinMaxNormalizer
 from repro.dsp.streaming import CrossingCounter, StreamingMoments
-from repro.dsp.wavelet import WaveletFilter, dwt_multilevel, dwt_single_level
+from repro.dsp.wavelet import (
+    WaveletFilter,
+    dwt_multilevel,
+    dwt_multilevel_batch,
+    dwt_single_level,
+    dwt_single_level_batch,
+)
 
 __all__ = [
     "CrossingCounter",
@@ -40,9 +47,12 @@ __all__ = [
     "MinMaxNormalizer",
     "Q16_16",
     "WaveletFilter",
+    "batch_feature_matrix",
     "crossing_count",
     "dwt_multilevel",
+    "dwt_multilevel_batch",
     "dwt_single_level",
+    "dwt_single_level_batch",
     "feature_vector",
     "kurtosis",
     "maximum",

@@ -234,6 +234,84 @@ def dwt_multilevel(
     return bands
 
 
+def _analysis_step_batch(batch: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Row-wise filter with periodic extension, then downsample by two.
+
+    Matches :func:`_analysis_step` output for every row: the valid part of
+    ``convolve(extended, taps[::-1])`` equals the correlation
+    ``sum_j taps[j] * extended[:, j:j+n]``, computed here as one
+    vectorised accumulation over the (few) filter taps instead of a
+    per-row convolution call.
+    """
+    n = batch.shape[1]
+    extended = np.concatenate([batch, batch[:, : len(taps) - 1]], axis=1)
+    filtered = np.zeros((batch.shape[0], n))
+    for j, tap in enumerate(taps):
+        filtered += tap * extended[:, j : j + n]
+    return filtered[:, ::2]
+
+
+def dwt_single_level_batch(
+    batch: Sequence[Sequence[float]], wavelet: WaveletFilter | str = "haar"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One DWT analysis level over a whole ``(rows, n)`` batch.
+
+    The batched counterpart of :func:`dwt_single_level` for any supported
+    wavelet family: row ``i`` of each output equals
+    ``dwt_single_level(batch[i], wavelet)``.
+
+    Returns:
+        ``(approximation, detail)`` arrays of shape ``(rows, n // 2)``.
+    """
+    if isinstance(wavelet, str):
+        wavelet = WaveletFilter.by_name(wavelet)
+    arr = np.asarray(batch, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError("batched DWT input must be two-dimensional")
+    if arr.shape[1] < 2 or arr.shape[1] % 2 != 0:
+        raise ConfigurationError(
+            f"DWT input length must be even and >= 2, got {arr.shape[1]}"
+        )
+    approx = _analysis_step_batch(arr, wavelet.lowpass)
+    detail = _analysis_step_batch(arr, wavelet.highpass)
+    return approx, detail
+
+
+def dwt_multilevel_batch(
+    batch: Sequence[Sequence[float]],
+    levels: int,
+    wavelet: WaveletFilter | str = "haar",
+) -> List[np.ndarray]:
+    """Batched :func:`dwt_multilevel`: the full pyramid for every row at once.
+
+    Returns the sub-band batches in the same consumption order
+    ``[D1, ..., D(L-1), A(L), D(L)]``; entry ``k`` has shape
+    ``(rows, band_length_k)`` and its row ``i`` equals band ``k`` of
+    ``dwt_multilevel(batch[i], levels, wavelet)``.
+    """
+    if isinstance(wavelet, str):
+        wavelet = WaveletFilter.by_name(wavelet)
+    if levels < 1:
+        raise ConfigurationError("levels must be >= 1")
+    arr = np.asarray(batch, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError("batched DWT input must be two-dimensional")
+    if arr.shape[1] % (1 << levels) != 0:
+        raise ConfigurationError(
+            f"row length {arr.shape[1]} not divisible by 2**{levels}"
+        )
+    bands: List[np.ndarray] = []
+    approx = arr
+    for level in range(1, levels + 1):
+        approx, detail = dwt_single_level_batch(approx, wavelet)
+        if level < levels:
+            bands.append(detail)
+        else:
+            bands.append(approx)
+            bands.append(detail)
+    return bands
+
+
 def dwt_band_lengths(segment_length: int, levels: int) -> List[int]:
     """Sub-band lengths produced by :func:`dwt_multilevel`, without computing.
 

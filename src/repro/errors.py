@@ -50,3 +50,8 @@ class SimulationError(XProError):
 
 class TrainingError(XProError):
     """A classifier could not be trained (degenerate data, no convergence)."""
+
+
+class PerfRegressionError(XProError):
+    """A measured performance metric regressed past the allowed threshold
+    relative to the committed baseline (see :mod:`repro.eval.perf`)."""

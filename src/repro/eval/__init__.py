@@ -11,6 +11,8 @@
   campaigns (unbounded stop-and-wait vs bounded-retry ARQ vs graceful
   degradation) and the wire-integrity comparison (no-CRC vs CRC-16 vs
   CRC + sequence-aware retransmission over real framed payloads).
+- :mod:`repro.eval.perf` -- scalar-vs-vectorized performance benchmarks
+  and the BENCH_perf.json regression gate.
 """
 
 from repro.eval.charts import bar_chart
@@ -18,6 +20,15 @@ from repro.eval.context import ExperimentContext
 from repro.eval.codesign import codesign_rows
 from repro.eval.motivation import motivation_rows
 from repro.eval.pareto import ParetoPoint, pareto_frontier
+from repro.eval.perf import (
+    PerfCase,
+    check_regression,
+    collect_perf_report,
+    compare_reports,
+    load_perf_report,
+    perf_rows,
+    write_perf_report,
+)
 from repro.eval.report import generate_report, write_report
 from repro.eval.resilience import (
     arq_model_rows,
@@ -44,10 +55,17 @@ from repro.eval.tables import format_table
 __all__ = [
     "ExperimentContext",
     "ParetoPoint",
+    "PerfCase",
     "arq_model_rows",
     "bar_chart",
+    "check_regression",
     "codesign_rows",
+    "collect_perf_report",
+    "compare_reports",
     "default_campaign",
+    "load_perf_report",
+    "perf_rows",
+    "write_perf_report",
     "integrity_campaign",
     "integrity_reports",
     "integrity_rows",

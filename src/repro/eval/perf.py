@@ -1,0 +1,417 @@
+"""Scalar-vs-batch performance harness and the perf-regression gate.
+
+Times the classification hot path both ways — the per-event scalar
+reference and the vectorised batch path — for each stage of the pipeline:
+
+- **extraction**: :meth:`FeatureLayout.extract_matrix` (per-row Python
+  loop) vs :func:`repro.dsp.batch.batch_extract_matrix`;
+- **dwt**: per-row :func:`~repro.dsp.wavelet.dwt_multilevel` vs the
+  batched pyramid :func:`~repro.dsp.wavelet.dwt_multilevel_batch`;
+- **inference**: per-event ensemble prediction (one tiny Gram matrix per
+  member per event) vs :class:`~repro.ml.inference.EnsembleBatchScorer`
+  (one Gram matrix per member per batch);
+- **end_to_end**: :meth:`TrainedAnalyticEngine.predict_segment` in a loop
+  vs :meth:`TrainedAnalyticEngine.predict_batch` — raw segments to
+  decisions;
+- **fleet**: the serial vs process-parallel fan-out of one BSN
+  design-space sweep (informational — its speedup depends on the worker
+  count of the machine and is therefore never a tracked gate metric).
+
+Every benchmark first asserts the two paths agree (decision-identical or
+within float precision), so a timing run is also an equivalence check.
+
+The report is serialised to ``benchmarks/results/BENCH_perf.json``
+(schema documented in ``docs/PERFORMANCE.md``).  CI regenerates the
+report in fast mode and feeds it to :func:`compare_reports`, which fails
+the build when any *tracked* metric — the machine-portable speedup
+ratios — regresses by more than 25% against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from repro.core.layout import FeatureLayout
+from repro.core.pipeline import TrainingConfig, train_analytic_engine
+from repro.dsp.batch import batch_extract_matrix
+from repro.dsp.wavelet import dwt_multilevel, dwt_multilevel_batch
+from repro.errors import ConfigurationError, PerfRegressionError
+from repro.signals.datasets import load_case
+
+#: Report schema identifier (bump on breaking layout changes).
+SCHEMA = "xpro-bench-perf/1"
+
+#: Metrics the CI regression gate compares against the committed baseline.
+#: Only speedup *ratios* are tracked: absolute segments/s depends on the
+#: machine, while the scalar/batch ratio is a property of the code.
+TRACKED_METRICS = (
+    "extraction.speedup",
+    "dwt.speedup",
+    "inference.speedup",
+    "end_to_end.speedup",
+)
+
+#: Allowed fractional regression on a tracked metric before the gate fails.
+DEFAULT_THRESHOLD = 0.25
+
+#: Safety margin applied to tracked ratios when a report is used as a
+#: baseline: the gate compares fresh measurements against
+#: ``measured * GATE_MARGIN``, so timer noise (±30-40% on busy runners)
+#: passes while real regressions — losing vectorisation collapses every
+#: tracked ratio to ~1x — still fail by an order of magnitude.
+GATE_MARGIN = 0.6
+
+#: Training scale used by the inference/end-to-end benches: small enough to
+#: train in seconds, big enough to retain several members and realistic
+#: support-vector counts.
+_BENCH_TRAINING = TrainingConfig(
+    subspace_dim=6, n_draws=8, keep_fraction=0.25, seed=7
+)
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One scalar-vs-batch timing comparison.
+
+    Attributes:
+        name: Stage name (``"extraction"``, ``"dwt"``, ...).
+        n_items: Work items (segments/events) processed per timed pass.
+        scalar_wall_s: Best wall time of the scalar reference path.
+        batch_wall_s: Best wall time of the vectorised batch path.
+        equivalent: Whether the two paths agreed on this run's data.
+    """
+
+    name: str
+    n_items: int
+    scalar_wall_s: float
+    batch_wall_s: float
+    equivalent: bool
+
+    @property
+    def scalar_per_s(self) -> float:
+        """Scalar-path throughput in items per second."""
+        return self.n_items / self.scalar_wall_s
+
+    @property
+    def batch_per_s(self) -> float:
+        """Batch-path throughput in items per second."""
+        return self.n_items / self.batch_wall_s
+
+    @property
+    def speedup(self) -> float:
+        """Batch over scalar throughput ratio."""
+        return self.scalar_wall_s / self.batch_wall_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this case."""
+        return {
+            "n_items": self.n_items,
+            "scalar_wall_s": self.scalar_wall_s,
+            "batch_wall_s": self.batch_wall_s,
+            "scalar_per_s": self.scalar_per_s,
+            "batch_per_s": self.batch_per_s,
+            "speedup": self.speedup,
+            "equivalent": self.equivalent,
+        }
+
+
+def _best_wall_s(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` (minimum filters scheduler
+    noise, the standard timeit practice)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_extraction(
+    n_segments: int = 256,
+    segment_length: int = 128,
+    repeats: int = 3,
+    seed: int = 2025,
+) -> PerfCase:
+    """Time full feature extraction: per-row reference vs batch path."""
+    if n_segments < 1:
+        raise ConfigurationError("n_segments must be positive")
+    layout = FeatureLayout(segment_length=segment_length)
+    X = np.random.default_rng(seed).normal(size=(n_segments, segment_length))
+    equivalent = bool(
+        np.allclose(batch_extract_matrix(X, layout), layout.extract_matrix(X),
+                    atol=1e-9)
+    )
+    scalar = _best_wall_s(lambda: layout.extract_matrix(X), repeats)
+    batch = _best_wall_s(lambda: batch_extract_matrix(X, layout), repeats)
+    return PerfCase("extraction", n_segments, scalar, batch, equivalent)
+
+
+def bench_dwt(
+    n_segments: int = 512,
+    segment_length: int = 128,
+    levels: int = 5,
+    wavelet: str = "db2",
+    repeats: int = 3,
+    seed: int = 2025,
+) -> PerfCase:
+    """Time the multi-level DWT pyramid: per-row reference vs batched.
+
+    Defaults to db2 so the general filter-bank path (not the Haar
+    pair-arithmetic shortcut) is what the gate watches.
+    """
+    X = np.random.default_rng(seed).normal(size=(n_segments, segment_length))
+    ref = [dwt_multilevel(row, levels, wavelet) for row in X]
+    fast = dwt_multilevel_batch(X, levels, wavelet)
+    equivalent = all(
+        np.allclose(fast[band][i], ref[i][band], atol=1e-9)
+        for i in range(n_segments)
+        for band in range(len(fast))
+    )
+    scalar = _best_wall_s(
+        lambda: [dwt_multilevel(row, levels, wavelet) for row in X], repeats
+    )
+    batch = _best_wall_s(lambda: dwt_multilevel_batch(X, levels, wavelet), repeats)
+    return PerfCase("dwt", n_segments, scalar, batch, equivalent)
+
+
+def _bench_engine(n_segments: int):
+    """A small trained engine plus its dataset, shared by the inference and
+    end-to-end benches."""
+    dataset = load_case("C1", n_segments=max(60, n_segments))
+    engine = train_analytic_engine(dataset, _BENCH_TRAINING)
+    return engine, dataset
+
+
+def bench_inference(
+    n_events: int = 256, repeats: int = 3, seed: int = 2025
+) -> PerfCase:
+    """Time ensemble inference on normalised features: per-event vs batch."""
+    from repro.ml.inference import EnsembleBatchScorer
+
+    engine, dataset = _bench_engine(n_events)
+    rows = np.random.default_rng(seed).integers(
+        0, len(dataset.segments), size=n_events
+    )
+    X = engine.normalizer.transform(
+        batch_extract_matrix(dataset.segments[rows], engine.layout)
+    )
+    ensemble = engine.ensemble
+    scorer = EnsembleBatchScorer(ensemble)
+    per_event = np.array([int(ensemble.predict(x[None, :])[0]) for x in X])
+    equivalent = bool(np.array_equal(per_event, scorer.predict(X)))
+    scalar = _best_wall_s(
+        lambda: [int(ensemble.predict(x[None, :])[0]) for x in X], repeats
+    )
+    batch = _best_wall_s(lambda: scorer.predict(X), repeats)
+    return PerfCase("inference", n_events, scalar, batch, equivalent)
+
+
+def bench_end_to_end(
+    n_events: int = 256, repeats: int = 3, seed: int = 2025
+) -> PerfCase:
+    """Time raw segments to decisions: predict_segment loop vs predict_batch."""
+    engine, dataset = _bench_engine(n_events)
+    rows = np.random.default_rng(seed).integers(
+        0, len(dataset.segments), size=n_events
+    )
+    segments = dataset.segments[rows]
+    per_event = np.array([engine.predict_segment(row) for row in segments])
+    equivalent = bool(np.array_equal(per_event, engine.predict_batch(segments)))
+    scalar = _best_wall_s(
+        lambda: [engine.predict_segment(row) for row in segments], repeats
+    )
+    batch = _best_wall_s(lambda: engine.predict_batch(segments), repeats)
+    return PerfCase("end_to_end", n_events, scalar, batch, equivalent)
+
+
+def bench_fleet(
+    n_networks: int = 8, n_events: int = 200, repeats: int = 1
+) -> PerfCase:
+    """Time a BSN fleet simulation sweep: serial vs process-parallel.
+
+    Informational only — the speedup tracks the machine's worker count
+    (and is below 1 on single-core CI runners, where the pool only adds
+    overhead), so it is deliberately not a tracked gate metric.
+    """
+    from repro.sim.evaluate import PartitionMetrics
+    from repro.sim.multinode import BSNNode, MultiNodeBSN
+    from repro.sim.parallel import SERIAL, fleet_simulations
+
+    metrics = PartitionMetrics(
+        in_sensor=frozenset({"cell"}),
+        sensor_compute_j=2e-6,
+        sensor_tx_j=1e-6,
+        sensor_rx_j=0.0,
+        delay_front_s=1e-3,
+        delay_link_s=2e-3,
+        delay_back_s=1e-3,
+        aggregator_cpu_j=1e-6,
+        aggregator_radio_j=1e-6,
+        crossing_bits_up=512,
+        crossing_bits_down=0,
+    )
+    fleet = [
+        MultiNodeBSN(
+            [
+                BSNNode(f"bsn{k}_ecg", metrics, period_s=0.25),
+                BSNNode(f"bsn{k}_emg", metrics, period_s=0.40),
+            ],
+            protocol="tdma" if k % 2 == 0 else "mimo",
+        )
+        for k in range(n_networks)
+    ]
+    serial_out = fleet_simulations(fleet, n_events, SERIAL)
+    parallel_out = fleet_simulations(fleet, n_events)
+    equivalent = serial_out == parallel_out
+    scalar = _best_wall_s(lambda: fleet_simulations(fleet, n_events, SERIAL), repeats)
+    batch = _best_wall_s(lambda: fleet_simulations(fleet, n_events), repeats)
+    return PerfCase("fleet", n_networks, scalar, batch, equivalent)
+
+
+def collect_perf_report(
+    fast: bool = False, repeats: int = 3, include_fleet: bool = True
+) -> Dict[str, Any]:
+    """Run every benchmark and assemble the machine-readable report.
+
+    Work sizes are deliberately identical in fast and full mode — only the
+    repeat count (and the fleet size) changes — so a fast-mode fresh report
+    is directly comparable to the committed full-mode baseline.
+
+    Args:
+        fast: CI smoke scale — single repeat and a smaller fleet.
+        repeats: Best-of repeats per timed path (forced to 1 in fast mode).
+        include_fleet: Whether to run the (slower, machine-dependent)
+            fleet sweep comparison.
+
+    Returns:
+        JSON-ready report dictionary (see ``docs/PERFORMANCE.md``).
+    """
+    repeats = 1 if fast else repeats
+    cases: List[PerfCase] = [
+        bench_extraction(n_segments=256, repeats=repeats),
+        bench_dwt(n_segments=512, repeats=repeats),
+        bench_inference(n_events=256, repeats=repeats),
+        bench_end_to_end(n_events=256, repeats=repeats),
+    ]
+    if include_fleet:
+        cases.append(bench_fleet(n_networks=4 if fast else 8, repeats=1))
+
+    metrics: Dict[str, float] = {}
+    for case in cases:
+        metrics[f"{case.name}.speedup"] = case.speedup
+        metrics[f"{case.name}.scalar_per_s"] = case.scalar_per_s
+        metrics[f"{case.name}.batch_per_s"] = case.batch_per_s
+    tracked = [name for name in TRACKED_METRICS if name in metrics]
+    return {
+        "schema": SCHEMA,
+        "fast_mode": bool(fast),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "cases": {case.name: case.as_dict() for case in cases},
+        "metrics": metrics,
+        "tracked": tracked,
+        "gate": {
+            name: round(metrics[name] * GATE_MARGIN, 2) for name in tracked
+        },
+        "gate_margin": GATE_MARGIN,
+    }
+
+
+def write_perf_report(report: Dict[str, Any], path: str | Path) -> Path:
+    """Serialise a perf report to pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_perf_report(path: str | Path) -> Dict[str, Any]:
+    """Load a perf report, validating the schema marker."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: unknown perf report schema {data.get('schema')!r}"
+        )
+    return data
+
+
+def compare_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """The regression gate: fresh tracked metrics vs the committed baseline.
+
+    A tracked metric regresses when it falls below the baseline's gate
+    value (its measurement times :data:`GATE_MARGIN`) minus the threshold:
+    ``gate * (1 - threshold)``.  Improvements never fail the gate.
+
+    Args:
+        fresh: Report measured by the current build.
+        baseline: The committed baseline report.
+        threshold: Allowed fractional regression (default 25%).
+
+    Returns:
+        Human-readable failure descriptions; empty when the gate is green.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError("threshold must be in (0, 1)")
+    failures: List[str] = []
+    fresh_metrics = fresh.get("metrics", {})
+    gate_values = baseline.get("gate", {})
+    for name in baseline.get("tracked", []):
+        base_value = gate_values.get(name, baseline["metrics"][name])
+        fresh_value = fresh_metrics.get(name)
+        if fresh_value is None:
+            failures.append(f"{name}: missing from the fresh report")
+            continue
+        floor = base_value * (1.0 - threshold)
+        if fresh_value < floor:
+            failures.append(
+                f"{name}: {fresh_value:.2f} < {floor:.2f} "
+                f"(baseline {base_value:.2f}, -{threshold:.0%} allowed)"
+            )
+    for case_name, case in fresh.get("cases", {}).items():
+        if not case.get("equivalent", True):
+            failures.append(
+                f"{case_name}: scalar and batch paths disagreed on this run"
+            )
+    return failures
+
+
+def check_regression(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> None:
+    """Raise :class:`PerfRegressionError` when :func:`compare_reports` fails."""
+    failures = compare_reports(fresh, baseline, threshold)
+    if failures:
+        raise PerfRegressionError(
+            "perf regression gate failed:\n  " + "\n  ".join(failures)
+        )
+
+
+def perf_rows(report: Dict[str, Any]) -> List[Dict[str, object]]:
+    """Result rows of one report for :func:`repro.eval.tables.format_table`."""
+    rows: List[Dict[str, object]] = []
+    for name, case in report["cases"].items():
+        rows.append(
+            {
+                "stage": name,
+                "items": case["n_items"],
+                "scalar/s": case["scalar_per_s"],
+                "batch/s": case["batch_per_s"],
+                "speedup": case["speedup"],
+                "equivalent": "yes" if case["equivalent"] else "NO",
+            }
+        )
+    return rows

@@ -19,6 +19,7 @@ Everything is implemented from scratch on numpy:
 from repro.ml.baselines import AdaBoostSVMClassifier, BaggingSVMClassifier
 from repro.ml.calibration import PlattScaler, brier_score
 from repro.ml.fusion import WeightedVotingFusion
+from repro.ml.inference import EnsembleBatchScorer
 from repro.ml.kernels import Kernel, LinearKernel, RBFKernel
 from repro.ml.metrics import accuracy, confusion_matrix
 from repro.ml.multiclass import OneVsRestSubspaceClassifier
@@ -30,6 +31,7 @@ from repro.ml.validation import kfold_indices, train_test_split
 __all__ = [
     "AdaBoostSVMClassifier",
     "BaggingSVMClassifier",
+    "EnsembleBatchScorer",
     "Kernel",
     "OneVsRestSubspaceClassifier",
     "LinearKernel",

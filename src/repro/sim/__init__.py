@@ -7,6 +7,9 @@
 - :mod:`repro.sim.simulator` -- a discrete-event simulator streaming
   segments through sensor, link and aggregator resources, used to validate
   the static model and to detect real-time overruns.
+- :mod:`repro.sim.parallel` -- fleet-scale parallel fan-out of independent
+  simulations (BSN reports, fault campaigns, design-space sweeps) across
+  worker processes, bit-identical to serial execution.
 - :mod:`repro.sim.faults` -- composable fault models (outages, burst loss,
   corruption, brownouts, stalls) and seeded fault-injection campaigns with
   bounded-retry ARQ, graceful degradation and an optional byte-level data
@@ -30,6 +33,16 @@ from repro.sim.faults import (
 )
 from repro.sim.lifetime import battery_lifetime_hours, event_period_s
 from repro.sim.multinode import BSNNode, BSNReport, MultiNodeBSN
+from repro.sim.parallel import (
+    CampaignTask,
+    ParallelConfig,
+    derive_seeds,
+    fleet_reports,
+    fleet_simulations,
+    parallel_map,
+    run_campaigns,
+    sweep,
+)
 from repro.sim.simulator import CrossEndSimulator, SimulationReport
 from repro.sim.timeline import render_timeline
 
@@ -38,6 +51,7 @@ __all__ = [
     "BSNNode",
     "BSNReport",
     "BurstLoss",
+    "CampaignTask",
     "CrossEndSimulator",
     "DecisionRecord",
     "DischargeTrace",
@@ -52,11 +66,18 @@ __all__ = [
     "SensorBrownout",
     "burst_lengths",
     "MultiNodeBSN",
+    "ParallelConfig",
     "PartitionMetrics",
     "SimulationReport",
     "battery_lifetime_hours",
+    "derive_seeds",
     "evaluate_partition",
+    "fleet_reports",
+    "fleet_simulations",
+    "parallel_map",
     "render_timeline",
+    "run_campaigns",
     "simulate_discharge",
+    "sweep",
     "event_period_s",
 ]

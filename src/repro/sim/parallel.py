@@ -1,0 +1,267 @@
+"""Fleet-scale parallel simulation driver.
+
+The evaluation layers run large numbers of *independent* simulations: one
+:class:`~repro.sim.multinode.MultiNodeBSN` report per body-sensor-network
+configuration, one seeded :class:`~repro.sim.faults.FaultCampaign` per
+scenario, one partition evaluation per design-space point.  Each task is
+self-contained and carries its own seed, so the sweep is embarrassingly
+parallel — this module fans it across worker processes.
+
+Determinism contract
+--------------------
+
+Parallel execution is **bit-identical** to serial execution:
+
+- no task ever shares RNG state — every stochastic task derives its own
+  generator from an explicit seed (campaigns re-arm from ``campaign.seed``
+  inside :meth:`~repro.sim.faults.FaultCampaign.run`; fan-outs of seeded
+  replicas use :func:`derive_seeds`, which spawns independent
+  ``SeedSequence`` children from one master seed);
+- results are returned in task-submission order, never completion order;
+- worker count and backend choice affect wall-clock only, never values.
+
+One comparison caveat: results carrying NaN sentinels (e.g. the
+``latency_s`` of a dropped event) are bit-identical across backends but
+compare unequal under naive ``==`` because ``nan != nan`` — compare field
+reprs (round-trip exact for floats) when asserting cross-backend identity.
+
+The ``"serial"`` backend runs the identical task list in-process, which is
+both the reference for the bit-identity tests and the fallback for
+environments where process pools are unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import FaultCampaign, ResilienceReport
+from repro.sim.multinode import BSNReport, MultiNodeBSN
+from repro.sim.simulator import CrossEndSimulator
+
+#: Supported execution backends.
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a task fan-out executes.
+
+    Attributes:
+        backend: ``"process"`` fans tasks across worker processes;
+            ``"serial"`` runs them in-process (reference semantics).
+        max_workers: Worker-process count; ``None`` uses the CPU count.
+        chunksize: Tasks handed to a worker per dispatch; raise it for
+            many cheap tasks to amortise pickling overhead.
+    """
+
+    backend: str = "process"
+    max_workers: Optional[int] = None
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; available: {BACKENDS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1 when given")
+        if self.chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+
+    def resolved_workers(self) -> int:
+        """The actual worker count this configuration resolves to."""
+        return self.max_workers or max(1, os.cpu_count() or 1)
+
+
+#: In-process reference configuration (bit-identity baseline).
+SERIAL = ParallelConfig(backend="serial")
+
+
+def derive_seeds(master_seed: int, n_tasks: int) -> List[int]:
+    """Independent per-task seeds from one master seed.
+
+    Spawns ``n_tasks`` children of ``SeedSequence(master_seed)`` and
+    collapses each to a 64-bit integer seed.  The derivation depends only
+    on ``(master_seed, task_index)`` — never on worker assignment or
+    completion order — so per-task RNG streams are identical however the
+    tasks are scheduled.
+    """
+    if n_tasks < 0:
+        raise ConfigurationError("n_tasks must be >= 0")
+    root = np.random.SeedSequence(int(master_seed))
+    return [
+        int(child.generate_state(1, np.uint64)[0]) for child in root.spawn(n_tasks)
+    ]
+
+
+def parallel_map(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    config: Optional[ParallelConfig] = None,
+) -> List[Any]:
+    """Apply ``func`` to every item, preserving item order in the result.
+
+    Args:
+        func: A module-level callable (worker processes import it by
+            qualified name, so lambdas and closures are rejected by the
+            pickle layer).
+        items: Task inputs; each must be picklable under the process
+            backend.
+        config: Execution configuration; defaults to the process backend
+            with one worker per CPU.
+
+    Returns:
+        ``[func(item) for item in items]`` — same values, any backend.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    if not items:
+        return []
+    if config.backend == "serial":
+        return [func(item) for item in items]
+    workers = min(config.resolved_workers(), len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, items, chunksize=config.chunksize))
+
+
+# -- fleet drivers (module-level workers so the process backend can pickle) --
+
+
+def _bsn_report(bsn: MultiNodeBSN) -> BSNReport:
+    """Worker: closed-form system report of one BSN configuration."""
+    return bsn.report()
+
+
+def _bsn_simulate(task: Tuple[MultiNodeBSN, int]) -> Dict[str, float]:
+    """Worker: event-driven medium simulation of one BSN configuration."""
+    bsn, n_events = task
+    return bsn.simulate(n_events)
+
+
+def fleet_reports(
+    bsns: Sequence[MultiNodeBSN], config: Optional[ParallelConfig] = None
+) -> List[BSNReport]:
+    """Closed-form :class:`BSNReport` of every BSN in the fleet.
+
+    The reports are pure functions of each BSN's configuration, so the
+    parallel fan-out is trivially bit-identical to the serial one.
+    """
+    return parallel_map(_bsn_report, bsns, config)
+
+
+def fleet_simulations(
+    bsns: Sequence[MultiNodeBSN],
+    n_events: int,
+    config: Optional[ParallelConfig] = None,
+) -> List[Dict[str, float]]:
+    """Event-driven medium simulation of every BSN in the fleet.
+
+    Args:
+        bsns: The fleet; each network is simulated independently.
+        n_events: Events per node streamed through each simulation.
+        config: Execution configuration.
+
+    Returns:
+        Per-BSN mean-latency dictionaries, in fleet order.
+    """
+    if n_events <= 0:
+        raise ConfigurationError("n_events must be positive")
+    return parallel_map(_bsn_simulate, [(bsn, n_events) for bsn in bsns], config)
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One seeded fault-injection campaign to run against one simulator.
+
+    The campaign re-arms every fault model from its own seed inside
+    :meth:`~repro.sim.faults.FaultCampaign.run`, so the task produces the
+    same :class:`~repro.sim.faults.ResilienceReport` wherever it executes.
+
+    Attributes:
+        label: Task name carried through to the result ordering.
+        campaign: The seeded fault campaign.
+        simulator: Supplies partition metrics and the event period.
+        n_events: Events streamed through the campaign.
+        run_kwargs: Extra keyword arguments forwarded to
+            :meth:`FaultCampaign.run` (ARQ config, degradation policy,
+            integrity config, ...).  Must be picklable.
+    """
+
+    label: str
+    campaign: FaultCampaign
+    simulator: CrossEndSimulator
+    n_events: int
+    run_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def run(self) -> ResilienceReport:
+        """Execute the campaign exactly as the serial path would."""
+        return self.campaign.run(
+            self.simulator, self.n_events, **dict(self.run_kwargs)
+        )
+
+
+def _run_campaign(task: CampaignTask) -> ResilienceReport:
+    """Worker: one fault campaign, reset-from-seed semantics."""
+    return task.run()
+
+
+def run_campaigns(
+    tasks: Sequence[CampaignTask], config: Optional[ParallelConfig] = None
+) -> List[ResilienceReport]:
+    """Run every fault campaign, in task order, on the configured backend."""
+    return parallel_map(_run_campaign, tasks, config)
+
+
+def _call_with_params(
+    task: Tuple[Callable[..., Any], Tuple[Tuple[str, Any], ...]]
+) -> Any:
+    """Worker: evaluate one design-space point."""
+    func, params = task
+    return func(**dict(params))
+
+
+def sweep(
+    func: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+    config: Optional[ParallelConfig] = None,
+) -> List[Tuple[Dict[str, Any], Any]]:
+    """Evaluate ``func`` over the cartesian product of a parameter grid.
+
+    The design-space sweep primitive: ``grid`` maps parameter names to the
+    values each may take; every combination is evaluated as one task.
+
+    Args:
+        func: Module-level callable accepting the grid's keys as keyword
+            arguments.
+        grid: Parameter name -> candidate values.  Iteration order of the
+            mapping fixes the product order (first key varies slowest).
+        config: Execution configuration.
+
+    Returns:
+        ``(params, value)`` pairs in deterministic product order, where
+        ``params`` is the keyword dictionary of that point.
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must name at least one parameter")
+    names = list(grid.keys())
+    combos = [
+        tuple(zip(names, values)) for values in product(*(grid[n] for n in names))
+    ]
+    results = parallel_map(_call_with_params, [(func, c) for c in combos], config)
+    return [(dict(c), r) for c, r in zip(combos, results)]

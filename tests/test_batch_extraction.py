@@ -13,6 +13,7 @@ from repro.dsp.batch import (
 )
 from repro.dsp.wavelet import WaveletFilter, dwt_multilevel, dwt_single_level
 from repro.errors import ConfigurationError
+from repro.ml.inference import EnsembleBatchScorer
 
 
 class TestBatchHaar:
@@ -71,7 +72,7 @@ class TestBatchExtract:
         slow = layout.extract_matrix(X)
         assert np.allclose(out, slow, atol=1e-9)
 
-    def test_non_haar_falls_back(self, rng):
+    def test_non_haar_uses_batched_filter_bank(self, rng):
         layout = FeatureLayout(segment_length=128, wavelet="db2")
         X = rng.normal(size=(3, 128))
         assert np.allclose(
@@ -97,3 +98,42 @@ class TestBatchExtract:
         batch_extract_matrix(X, layout)
         fast = time.perf_counter() - t0
         assert fast < slow  # typically ~10x; assert direction only
+
+
+class TestEnsembleBatchScorer:
+    def _normalised(self, engine, dataset):
+        raw = batch_extract_matrix(dataset.segments, engine.layout)
+        return engine.normalizer.transform(raw)
+
+    def test_scores_bitwise_identical(self, tiny_engine, tiny_dataset):
+        X = self._normalised(tiny_engine, tiny_dataset)
+        scorer = EnsembleBatchScorer(tiny_engine.ensemble)
+        assert np.array_equal(
+            scorer.decision_function(X), tiny_engine.ensemble.decision_function(X)
+        )
+        assert np.array_equal(
+            scorer.predict(X), tiny_engine.ensemble.predict(X)
+        )
+
+    def test_member_scores_shape(self, tiny_engine, tiny_dataset):
+        X = self._normalised(tiny_engine, tiny_dataset)
+        scorer = EnsembleBatchScorer(tiny_engine.ensemble)
+        scores = scorer.member_scores(X)
+        assert scores.shape == (len(X), scorer.n_members)
+
+    def test_validation(self, tiny_engine):
+        scorer = EnsembleBatchScorer(tiny_engine.ensemble)
+        with pytest.raises(ConfigurationError):
+            scorer.predict(np.zeros(7))
+        with pytest.raises(ConfigurationError):
+            scorer.predict(np.zeros((3, 2)))
+
+
+class TestPredictBatch:
+    def test_decisions_identical_to_per_event_path(self, tiny_engine, tiny_dataset):
+        segments = tiny_dataset.segments[:40]
+        batched = tiny_engine.predict_batch(segments)
+        reference = np.asarray(
+            [tiny_engine.predict_segment(seg) for seg in segments]
+        )
+        assert np.array_equal(batched, reference)

@@ -9,6 +9,7 @@ from hypothesis.extra.numpy import arrays
 from repro.dsp.features import (
     FEATURE_NAMES,
     FeatureExtractor,
+    batch_feature_matrix,
     compute_feature,
     crossing_count,
     feature_vector,
@@ -167,3 +168,101 @@ class TestOperationCounts:
             operation_counts("max", 0)
         with pytest.raises(ConfigurationError):
             operation_counts("median", 8)
+
+
+def _crossing_count_loop(segment, level=0.0):
+    """Sequential reference for the vectorised sign propagation."""
+    last = 1.0
+    signs = []
+    for value in segment:
+        s = float(np.sign(value - level))
+        if s == 0.0:
+            s = last
+        signs.append(s)
+        last = s
+    return float(sum(a != b for a, b in zip(signs[1:], signs[:-1])))
+
+
+class TestBatchFeatureMatrix:
+    @given(SEGMENTS)
+    @settings(max_examples=50, deadline=None)
+    def test_czero_matches_sequential_loop(self, seg):
+        level = float(seg.mean())
+        assert crossing_count(seg, level) == _crossing_count_loop(seg, level)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=4, max_value=40),
+            elements=st.integers(min_value=-3, max_value=3).map(float),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_czero_with_exact_zero_runs(self, seg):
+        # Integer-valued samples make exact equal-to-level runs likely,
+        # exercising the carried-sign rule rather than the generic path.
+        assert crossing_count(seg) == _crossing_count_loop(seg)
+
+    def test_czero_constant_segment_is_zero(self):
+        batch = np.full((5, 64), 3.25)
+        col = batch_feature_matrix(batch, names=["czero"])
+        assert np.array_equal(col, np.zeros((5, 1)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_rows_match_feature_vectors(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = rng.normal(size=(6, 48)) * rng.uniform(0.1, 10)
+        out = batch_feature_matrix(batch)
+        assert out.shape == (6, 8)
+        for i in range(6):
+            assert np.allclose(out[i], feature_vector(batch[i]), atol=1e-9)
+
+    def test_subset_and_order_of_names(self):
+        batch = np.random.default_rng(3).normal(size=(4, 32))
+        out = batch_feature_matrix(batch, names=["kurt", "max", "czero"])
+        assert out.shape == (4, 3)
+        for i in range(4):
+            assert np.allclose(
+                out[i], feature_vector(batch[i], ["kurt", "max", "czero"]),
+                atol=1e-9,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_feature_matrix(np.zeros(8))
+        with pytest.raises(ConfigurationError):
+            batch_feature_matrix(np.zeros((0, 8)))
+        with pytest.raises(ConfigurationError):
+            batch_feature_matrix(np.zeros((2, 8)), names=["max", "bogus"])
+
+
+class TestExtractBatch:
+    def test_matches_per_event_extract(self):
+        rng = np.random.default_rng(11)
+        extractor = FeatureExtractor()
+        domains = [rng.normal(size=(9, 64)), rng.normal(size=(9, 32))]
+        out = extractor.extract_batch(domains)
+        assert out.shape == (9, 16)
+        for i in range(9):
+            ref = extractor.extract([domains[0][i], domains[1][i]])
+            assert np.allclose(out[i], ref, atol=1e-9)
+
+    def test_single_array_is_one_domain(self):
+        rng = np.random.default_rng(12)
+        extractor = FeatureExtractor(feature_names=["mean", "std"])
+        batch = rng.normal(size=(5, 40))
+        out = extractor.extract_batch(batch)
+        assert out.shape == (5, 2)
+        assert np.allclose(out, extractor.extract_batch([batch]))
+
+    def test_validation(self):
+        extractor = FeatureExtractor()
+        with pytest.raises(ConfigurationError):
+            extractor.extract_batch([])
+        with pytest.raises(ConfigurationError):
+            extractor.extract_batch(
+                [np.zeros((3, 8)), np.zeros((4, 8))]
+            )
+        with pytest.raises(ConfigurationError):
+            extractor.extract_batch([np.zeros(8)])

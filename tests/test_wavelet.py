@@ -10,7 +10,9 @@ from repro.dsp.wavelet import (
     WaveletFilter,
     dwt_band_lengths,
     dwt_multilevel,
+    dwt_multilevel_batch,
     dwt_single_level,
+    dwt_single_level_batch,
     reconstruct_single_level,
 )
 from repro.errors import ConfigurationError
@@ -185,3 +187,43 @@ class TestMultilevel:
         assert np.allclose(bands[0], d1)
         assert np.allclose(bands[1], a2)
         assert np.allclose(bands[2], d2)
+
+
+class TestBatchedDWT:
+    @pytest.mark.parametrize("name", ["haar", "db2", "db3"])
+    def test_single_level_matches_scalar(self, name, rng):
+        batch = rng.normal(size=(6, 64))
+        a_b, d_b = dwt_single_level_batch(batch, name)
+        for i in range(6):
+            a, d = dwt_single_level(batch[i], WaveletFilter.by_name(name))
+            assert np.allclose(a_b[i], a, atol=1e-12)
+            assert np.allclose(d_b[i], d, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["haar", "db2", "db3"])
+    @pytest.mark.parametrize("levels", [1, 3, 5])
+    def test_multilevel_matches_scalar(self, name, levels, rng):
+        batch = rng.normal(size=(4, 128))
+        bands_b = dwt_multilevel_batch(batch, levels, name)
+        for i in range(4):
+            bands = dwt_multilevel(batch[i], levels, name)
+            assert len(bands_b) == len(bands)
+            for bb, rb in zip(bands_b, bands):
+                assert np.allclose(bb[i], rb, atol=1e-12)
+
+    @given(SIGNALS)
+    @settings(max_examples=25, deadline=None)
+    def test_property_batch_of_one_row(self, signal):
+        a_b, d_b = dwt_single_level_batch(signal[None, :], "db2")
+        a, d = dwt_single_level(signal, WaveletFilter.by_name("db2"))
+        assert np.allclose(a_b[0], a, atol=1e-9)
+        assert np.allclose(d_b[0], d, atol=1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            dwt_single_level_batch(rng.normal(size=16))
+        with pytest.raises(ConfigurationError):
+            dwt_single_level_batch(rng.normal(size=(3, 7)))
+        with pytest.raises(ConfigurationError):
+            dwt_multilevel_batch(rng.normal(size=(3, 20)), 3)
+        with pytest.raises(ConfigurationError):
+            dwt_multilevel_batch(rng.normal(size=(3, 16)), 0)
