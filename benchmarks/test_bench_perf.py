@@ -1,8 +1,9 @@
 """Scalar-vs-batch performance benchmark and regression gate.
 
 Times the vectorized hot paths against their scalar references — feature
-extraction, multi-level DWT, ensemble inference and the end-to-end
-segment pipeline — and writes the machine-readable report to
+extraction, multi-level DWT, ensemble inference, the end-to-end segment
+pipeline and the warm-started generator fast path — and writes the
+machine-readable report to
 ``benchmarks/results/BENCH_perf.json`` (``results-fast/`` under
 ``XPRO_BENCH_FAST=1``).  See ``docs/PERFORMANCE.md`` for the report
 schema and the gate semantics.
@@ -72,6 +73,19 @@ def test_extraction_speedup_floor(perf_report):
     case = perf_report["cases"]["extraction"]
     assert case["n_items"] >= 256
     assert case["speedup"] >= 5.0, f"extraction speedup {case['speedup']:.2f} < 5"
+
+
+def test_generator_speedup_floor(perf_report):
+    """Acceptance: >= 5x delay-constrained generate() on the warm fast path.
+
+    The generator stage runs a delay-limit ladder that forces the full
+    Lagrangian bisection at every point; the warm path shares one s-t
+    graph template, residual warm starts and the evaluation memo across
+    the ladder, vs a cold rebuild-per-solve generator.
+    """
+    case = perf_report["cases"]["generator"]
+    assert case["equivalent"], "warm and cold generator paths disagreed"
+    assert case["speedup"] >= 5.0, f"generator speedup {case['speedup']:.2f} < 5"
 
 
 def test_regression_gate(perf_report):

@@ -15,7 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.eval.perf import DEFAULT_THRESHOLD, compare_reports, load_perf_report
+from repro.eval.perf import (
+    DEFAULT_THRESHOLD,
+    TRACKED_METRICS,
+    compare_reports,
+    load_perf_report,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +37,17 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh = load_perf_report(args.fresh)
     baseline = load_perf_report(args.baseline)
+    # A stale baseline (e.g. missing a newly tracked stage such as
+    # generator.speedup) would silently shrink the gate's coverage.
+    stale = [m for m in TRACKED_METRICS if m not in baseline.get("tracked", [])]
+    if stale:
+        print("perf regression gate FAILED:")
+        for name in stale:
+            print(
+                f"  {name}: not in the committed baseline — regenerate it "
+                "with scripts/update_perf_baseline.py"
+            )
+        return 1
     failures = compare_reports(fresh, baseline, threshold=args.threshold)
     if failures:
         print("perf regression gate FAILED:")

@@ -22,7 +22,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.eval.perf import GATE_MARGIN, collect_perf_report, write_perf_report
+from repro.eval.perf import (
+    GATE_MARGIN,
+    TRACKED_METRICS,
+    collect_perf_report,
+    write_perf_report,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +52,9 @@ def main(argv: list[str] | None = None) -> int:
     reports.append(collect_perf_report(fast=True, include_fleet=False))
 
     baseline = reports[0]
+    missing = [m for m in TRACKED_METRICS if m not in baseline["tracked"]]
+    if missing:  # a baseline must cover every gated stage
+        parser.error(f"baseline run is missing tracked metrics: {missing}")
     for name in baseline["tracked"]:
         observed = [r["metrics"][name] for r in reports]
         baseline["gate"][name] = round(min(observed) * GATE_MARGIN, 2)

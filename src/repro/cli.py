@@ -144,6 +144,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the (slower) parallel-fleet comparison",
     )
     perf.add_argument(
+        "--stage", action="append", metavar="NAME", default=None,
+        help=(
+            "run only this stage (repeatable; e.g. --stage generator); "
+            "default runs all stages"
+        ),
+    )
+    perf.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the machine-readable report (BENCH_perf.json schema)",
     )
@@ -304,7 +311,10 @@ def _cmd_perf(args: argparse.Namespace) -> str:
     )
 
     report = collect_perf_report(
-        fast=args.fast, repeats=args.repeats, include_fleet=not args.no_fleet
+        fast=args.fast,
+        repeats=args.repeats,
+        include_fleet=not args.no_fleet,
+        stages=args.stage,
     )
     lines = [
         format_table(

@@ -31,11 +31,19 @@ from repro.cells.topology import CellTopology
 from repro.core.partition import Partition
 from repro.errors import ConfigurationError, InfeasibleConstraintError
 from repro.graph.cuts import aggregator_cut, enumerate_partitions, sensor_cut
-from repro.graph.stgraph import build_st_graph
+from repro.graph.stgraph import (
+    STGraphTemplate,
+    build_st_graph,
+    build_st_graph_template,
+)
 from repro.hw.aggregator import AggregatorCPU
 from repro.hw.energy import EnergyLibrary
 from repro.hw.wireless import WirelessLink
-from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+from repro.sim.evaluate import (
+    PartitionEvaluationCache,
+    PartitionMetrics,
+    evaluate_partition,
+)
 
 logger = logging.getLogger("repro.generator")
 
@@ -49,7 +57,10 @@ class GeneratorResult:
         metrics: Full per-event metrics of that partition.
         delay_limit_s: The delay constraint that was enforced (None if
             unconstrained).
-        candidates_evaluated: How many distinct cuts were screened.
+        candidates_evaluated: Unique partitions priced through the
+            energy/delay model during the call — bisection feasibility
+            probes included, repeats served by the memo not
+            double-counted.
     """
 
     partition: Partition
@@ -61,11 +72,28 @@ class GeneratorResult:
 class AutomaticXProGenerator:
     """Finds energy-optimal cross-end partitions for one topology.
 
+    The generator keeps two per-instance fast-path structures, both tied to
+    its ``(topology, energy_lib, link, cpu)`` context:
+
+    - a parametric :class:`~repro.graph.stgraph.STGraphTemplate` so the
+      Lagrangian bisection re-prices one prebuilt s-t graph and warm-starts
+      each solve from the previous residual flow (``warm_start=True``);
+    - a bounded :class:`~repro.sim.evaluate.PartitionEvaluationCache` so
+      repeated probes of the same cut hit the energy/delay model once
+      (``cache_size`` entries; 0 disables).
+
+    Both are invalidated automatically when any of the four model
+    attributes is rebound; call :meth:`invalidate_caches` after mutating a
+    model *in place*.
+
     Args:
         topology: The functional-cell dataflow graph.
         energy_lib: In-sensor energy model (process node, ALU modes).
         link: Wireless transceiver model.
         cpu: Aggregator CPU model (for the delay model and Fig. 13).
+        warm_start: Reuse the s-t graph template and residual flows across
+            solves (``False`` forces the legacy cold rebuild per solve).
+        cache_size: Bound of the partition-evaluation memo (0 disables).
     """
 
     def __init__(
@@ -74,16 +102,71 @@ class AutomaticXProGenerator:
         energy_lib: EnergyLibrary,
         link: WirelessLink,
         cpu: AggregatorCPU,
+        *,
+        warm_start: bool = True,
+        cache_size: int = 256,
     ) -> None:
         self.topology = topology
         self.energy_lib = energy_lib
         self.link = link
         self.cpu = cpu
+        self.warm_start = warm_start
+        self._eval_cache = PartitionEvaluationCache(maxsize=cache_size)
+        self._template: Optional[STGraphTemplate] = None
+        self._context_key: Optional[Tuple[int, int, int, int]] = None
+
+    # -- fast-path cache management ---------------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Drop the s-t graph template and the evaluation memo.
+
+        Needed only after mutating one of the model objects *in place*;
+        rebinding ``self.topology``/``self.energy_lib``/``self.link``/
+        ``self.cpu`` to a different object is detected automatically.
+        """
+        self._template = None
+        self._context_key = None
+        self._eval_cache.clear()
+
+    def _check_context(self) -> None:
+        key = (id(self.topology), id(self.energy_lib), id(self.link), id(self.cpu))
+        if self._context_key != key:
+            self._template = None
+            self._eval_cache.clear()
+            self._context_key = key
+
+    @property
+    def evaluation_cache(self) -> PartitionEvaluationCache:
+        """The partition-evaluation memo (hit/miss counters for tests)."""
+        return self._eval_cache
+
+    @property
+    def template(self) -> Optional[STGraphTemplate]:
+        """The current s-t graph template, if one has been built."""
+        self._check_context()
+        return self._template
+
+    def _ensure_template(self) -> STGraphTemplate:
+        self._check_context()
+        if self._template is None:
+            self._template = build_st_graph_template(
+                self.topology,
+                self.energy_lib,
+                self.link,
+                self._delay_weights(1.0),
+            )
+        return self._template
 
     # -- evaluation helpers ------------------------------------------------------
 
     def evaluate(self, in_sensor: FrozenSet[str]) -> PartitionMetrics:
         """Metrics of an arbitrary partition under this generator's models."""
+        self._check_context()
+        return self._eval_cache.get_or_compute(
+            frozenset(in_sensor), self._evaluate_uncached
+        )
+
+    def _evaluate_uncached(self, in_sensor: FrozenSet[str]) -> PartitionMetrics:
         return evaluate_partition(
             self.topology, in_sensor, self.energy_lib, self.link, self.cpu
         )
@@ -104,8 +187,11 @@ class AutomaticXProGenerator:
 
     def min_cut_partition(self) -> Partition:
         """Exact energy-minimal partition, ignoring delay (Section 3.2.2)."""
-        graph = build_st_graph(self.topology, self.energy_lib, self.link)
-        in_sensor, capacity = graph.solve()
+        if self.warm_start:
+            in_sensor, capacity = self._ensure_template().solve_lagrangian(0.0)
+        else:
+            graph = build_st_graph(self.topology, self.energy_lib, self.link)
+            in_sensor, capacity = graph.solve()
         logger.debug(
             "min-cut: %d/%d cells in-sensor, capacity %.4g J",
             len(in_sensor), len(self.topology), capacity,
@@ -132,6 +218,9 @@ class AutomaticXProGenerator:
         return weights
 
     def _lagrangian_cut(self, lam: float) -> FrozenSet[str]:
+        if self.warm_start:
+            in_sensor, _ = self._ensure_template().solve_lagrangian(lam)
+            return in_sensor
         graph = build_st_graph(
             self.topology, self.energy_lib, self.link, self._delay_weights(lam)
         )
@@ -169,6 +258,18 @@ class AutomaticXProGenerator:
         if limit is not None and limit <= 0:
             raise ConfigurationError("delay limit must be positive")
 
+        # Every evaluation in this call goes through `ev` so that
+        # `candidates_evaluated` counts *unique model evaluations* — each
+        # distinct partition is priced once (the memo serves repeats), and
+        # bisection feasibility probes are not double-counted against the
+        # final screening pass.
+        tracked: set = set()
+
+        def ev(in_sensor: FrozenSet[str]) -> PartitionMetrics:
+            key = frozenset(in_sensor)
+            tracked.add(key)
+            return self.evaluate(key)
+
         candidates: List[Tuple[FrozenSet[str], str]] = [
             (sensor_cut(self.topology), "sensor"),
             (aggregator_cut(self.topology), "aggregator"),
@@ -178,7 +279,7 @@ class AutomaticXProGenerator:
         if limit is not None:
             # Only bother with Lagrangian pricing if the unconstrained
             # optimum violates the limit.
-            unconstrained_metrics = self.evaluate(candidates[2][0])
+            unconstrained_metrics = ev(candidates[2][0])
             if unconstrained_metrics.delay_total_s > limit:
                 logger.debug(
                     "unconstrained cut violates delay limit "
@@ -190,31 +291,30 @@ class AutomaticXProGenerator:
                 # rely on the single-end candidates).
                 for _ in range(20):
                     cut = self._lagrangian_cut(hi)
-                    if self.evaluate(cut).delay_total_s <= limit:
+                    if ev(cut).delay_total_s <= limit:
                         break
                     hi *= 4.0
                 for _ in range(lagrangian_steps):
                     mid = (lo + hi) / 2.0
                     cut = self._lagrangian_cut(mid)
                     candidates.append((cut, "cross"))
-                    if self.evaluate(cut).delay_total_s <= limit:
+                    if ev(cut).delay_total_s <= limit:
                         hi = mid
                     else:
                         lo = mid
 
         best: Optional[Tuple[PartitionMetrics, str]] = None
-        evaluated = 0
         seen = set()
         for in_sensor, label in candidates:
             if in_sensor in seen:
                 continue
             seen.add(in_sensor)
-            metrics = self.evaluate(in_sensor)
-            evaluated += 1
+            metrics = ev(in_sensor)
             if limit is not None and metrics.delay_total_s > limit * (1 + 1e-9):
                 continue
             if best is None or metrics.sensor_total_j < best[0].sensor_total_j:
                 best = (metrics, label)
+        evaluated = len(tracked)
         if best is None:
             raise InfeasibleConstraintError(
                 f"no partition satisfies delay limit {limit!r} s"

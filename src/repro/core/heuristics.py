@@ -28,7 +28,7 @@ from repro.errors import ConfigurationError
 from repro.hw.aggregator import AggregatorCPU
 from repro.hw.energy import EnergyLibrary
 from repro.hw.wireless import WirelessLink
-from repro.sim.evaluate import evaluate_partition
+from repro.sim.evaluate import PartitionEvaluationCache, evaluate_partition
 
 Objective = Callable[[FrozenSet[str]], float]
 
@@ -38,11 +38,23 @@ def _sensor_energy_objective(
     lib: EnergyLibrary,
     link: WirelessLink,
     cpu: AggregatorCPU,
+    cache_size: int = 0,
 ) -> Objective:
-    def objective(in_sensor: FrozenSet[str]) -> float:
-        return evaluate_partition(topology, in_sensor, lib, link, cpu).sensor_total_j
+    def compute(in_sensor: FrozenSet[str]):
+        return evaluate_partition(topology, in_sensor, lib, link, cpu)
 
-    return objective
+    if cache_size == 0:
+        def objective(in_sensor: FrozenSet[str]) -> float:
+            return compute(in_sensor).sensor_total_j
+
+        return objective
+
+    cache = PartitionEvaluationCache(maxsize=cache_size)
+
+    def cached_objective(in_sensor: FrozenSet[str]) -> float:
+        return cache.get_or_compute(frozenset(in_sensor), compute).sensor_total_j
+
+    return cached_objective
 
 
 def greedy_descent(
@@ -52,6 +64,7 @@ def greedy_descent(
     cpu: AggregatorCPU,
     seed_partition: Optional[FrozenSet[str]] = None,
     max_rounds: int = 200,
+    cache_size: int = 1024,
 ) -> FrozenSet[str]:
     """Steepest-descent local search over single-cell moves.
 
@@ -61,11 +74,13 @@ def greedy_descent(
         seed_partition: Starting point; defaults to the all-in-sensor
             engine (a deployed system migrating cells off the node).
         max_rounds: Safety cap on improvement rounds.
+        cache_size: Bound of the partition-evaluation memo (successive
+            rounds re-score mostly unchanged neighbourhoods; 0 disables).
 
     Returns:
         A locally optimal in-sensor set: no single cell move improves it.
     """
-    objective = _sensor_energy_objective(topology, lib, link, cpu)
+    objective = _sensor_energy_objective(topology, lib, link, cpu, cache_size)
     current = (
         frozenset(topology.cells) if seed_partition is None else frozenset(seed_partition)
     )
@@ -96,16 +111,19 @@ def simulated_annealing(
     n_steps: int = 2000,
     initial_temperature: float = 1.0,
     seed: int = 0,
+    cache_size: int = 1024,
 ) -> FrozenSet[str]:
     """Simulated annealing over single-cell flips.
 
     Temperature is expressed relative to the all-in-sensor energy so the
     schedule is topology-scale-free; it decays geometrically to ~1e-3 of
-    the initial value over ``n_steps``.
+    the initial value over ``n_steps``.  ``cache_size`` bounds the
+    partition-evaluation memo (the walk re-proposes earlier states
+    constantly; 0 disables).
     """
     if n_steps < 1:
         raise ConfigurationError("n_steps must be >= 1")
-    objective = _sensor_energy_objective(topology, lib, link, cpu)
+    objective = _sensor_energy_objective(topology, lib, link, cpu, cache_size)
     names = sorted(topology.cells)
     rng = np.random.default_rng(seed)
     current = frozenset(topology.cells)

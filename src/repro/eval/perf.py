@@ -13,6 +13,11 @@ reference and the vectorised batch path — for each stage of the pipeline:
 - **end_to_end**: :meth:`TrainedAnalyticEngine.predict_segment` in a loop
   vs :meth:`TrainedAnalyticEngine.predict_batch` — raw segments to
   decisions;
+- **generator**: a delay-limit ladder of constrained
+  :meth:`AutomaticXProGenerator.generate` calls — the legacy per-solve
+  cold path (graph rebuilt, Dinic from scratch, no memo) vs the warm
+  fast path (shared s-t graph template, residual warm-starts,
+  partition-evaluation memo);
 - **fleet**: the serial vs process-parallel fan-out of one BSN
   design-space sweep (informational — its speedup depends on the worker
   count of the machine and is therefore never a tracked gate metric).
@@ -34,7 +39,7 @@ import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -56,6 +61,17 @@ TRACKED_METRICS = (
     "dwt.speedup",
     "inference.speedup",
     "end_to_end.speedup",
+    "generator.speedup",
+)
+
+#: Stage names accepted by :func:`collect_perf_report`'s ``stages`` filter.
+ALL_STAGES = (
+    "extraction",
+    "dwt",
+    "inference",
+    "end_to_end",
+    "generator",
+    "fleet",
 )
 
 #: Allowed fractional regression on a tracked metric before the gate fails.
@@ -231,6 +247,85 @@ def bench_end_to_end(
     return PerfCase("end_to_end", n_events, scalar, batch, equivalent)
 
 
+def bench_generator(
+    n_limits: int = 6, repeats: int = 3
+) -> PerfCase:
+    """Time a delay-limit ladder of constrained ``generate()`` calls.
+
+    The workload mirrors the design-space sweeps (pareto, codesign,
+    sensitivity) that call the Automatic XPro Generator once per point
+    with a fixed hardware context: ``n_limits`` delay limits spanning the
+    feasible band between the best single-end delay and the unconstrained
+    min-cut delay, each limit tight enough to force the full Lagrangian
+    bisection.
+
+    - *scalar path*: a fresh ``warm_start=False, cache_size=0`` generator
+      per limit — every lambda probe rebuilds the s-t graph, solves Dinic
+      from a cold start and re-prices every cut through the energy/delay
+      model (the pre-fast-path behaviour);
+    - *batch path*: one warm generator for the whole ladder — a single
+      s-t graph template re-priced per lambda, residual-flow warm starts,
+      and the partition-evaluation memo shared across limits.
+
+    Equivalence asserts both paths return identical partitions and
+    bit-identical metrics at every limit.
+    """
+    from repro.core.generator import AutomaticXProGenerator
+    from repro.graph.cuts import aggregator_cut, sensor_cut
+    from repro.hw.aggregator import AggregatorCPU
+    from repro.hw.energy import EnergyLibrary
+    from repro.hw.wireless import WirelessLink
+    from repro.sim.evaluate import metrics_identical
+
+    if n_limits < 1:
+        raise ConfigurationError("n_limits must be positive")
+    engine, _ = _bench_engine(120)
+    lib = EnergyLibrary("90nm")
+    topology = engine.build_topology(lib)
+    link = WirelessLink("model3")  # slow link => real cross-end cuts
+    cpu = AggregatorCPU()
+
+    probe = AutomaticXProGenerator(topology, lib, link, cpu)
+    unconstrained = probe.evaluate(probe.min_cut_partition().in_sensor)
+    single_end = min(
+        probe.evaluate(sensor_cut(topology)).delay_total_s,
+        probe.evaluate(aggregator_cut(topology)).delay_total_s,
+    )
+    lo = min(single_end, unconstrained.delay_total_s)
+    hi = max(single_end, unconstrained.delay_total_s)
+    if hi <= lo:
+        raise ConfigurationError(
+            "generator bench is degenerate: the unconstrained min cut "
+            "already matches the best single-end delay, so no limit in "
+            "the ladder would force the Lagrangian search"
+        )
+    limits = [
+        lo + (hi - lo) * (i + 1) / (n_limits + 1) for i in range(n_limits)
+    ]
+
+    def run_cold():
+        return [
+            AutomaticXProGenerator(
+                topology, lib, link, cpu, warm_start=False, cache_size=0
+            ).generate(delay_limit_s=limit)
+            for limit in limits
+        ]
+
+    def run_warm():
+        gen = AutomaticXProGenerator(topology, lib, link, cpu)
+        return [gen.generate(delay_limit_s=limit) for limit in limits]
+
+    cold_results = run_cold()
+    warm_results = run_warm()
+    equivalent = all(
+        c.partition == w.partition and metrics_identical(c.metrics, w.metrics)
+        for c, w in zip(cold_results, warm_results)
+    )
+    scalar = _best_wall_s(run_cold, repeats)
+    batch = _best_wall_s(run_warm, repeats)
+    return PerfCase("generator", n_limits, scalar, batch, equivalent)
+
+
 def bench_fleet(
     n_networks: int = 8, n_events: int = 200, repeats: int = 1
 ) -> PerfCase:
@@ -276,7 +371,10 @@ def bench_fleet(
 
 
 def collect_perf_report(
-    fast: bool = False, repeats: int = 3, include_fleet: bool = True
+    fast: bool = False,
+    repeats: int = 3,
+    include_fleet: bool = True,
+    stages: Sequence[str] | None = None,
 ) -> Dict[str, Any]:
     """Run every benchmark and assemble the machine-readable report.
 
@@ -289,18 +387,37 @@ def collect_perf_report(
         repeats: Best-of repeats per timed path (forced to 1 in fast mode).
         include_fleet: Whether to run the (slower, machine-dependent)
             fleet sweep comparison.
+        stages: Optional subset of :data:`ALL_STAGES` to run (``None``
+            runs them all).  Subset reports time faster but only carry
+            the selected tracked metrics, so they serve smoke checks —
+            the committed baseline is always a full report.
 
     Returns:
         JSON-ready report dictionary (see ``docs/PERFORMANCE.md``).
     """
+    if stages is not None:
+        unknown = set(stages) - set(ALL_STAGES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown perf stages {sorted(unknown)}; available: {ALL_STAGES}"
+            )
+
+    def wanted(name: str) -> bool:
+        return stages is None or name in stages
+
     repeats = 1 if fast else repeats
-    cases: List[PerfCase] = [
-        bench_extraction(n_segments=256, repeats=repeats),
-        bench_dwt(n_segments=512, repeats=repeats),
-        bench_inference(n_events=256, repeats=repeats),
-        bench_end_to_end(n_events=256, repeats=repeats),
-    ]
-    if include_fleet:
+    cases: List[PerfCase] = []
+    if wanted("extraction"):
+        cases.append(bench_extraction(n_segments=256, repeats=repeats))
+    if wanted("dwt"):
+        cases.append(bench_dwt(n_segments=512, repeats=repeats))
+    if wanted("inference"):
+        cases.append(bench_inference(n_events=256, repeats=repeats))
+    if wanted("end_to_end"):
+        cases.append(bench_end_to_end(n_events=256, repeats=repeats))
+    if wanted("generator"):
+        cases.append(bench_generator(n_limits=6, repeats=repeats))
+    if include_fleet and wanted("fleet"):
         cases.append(bench_fleet(n_networks=4 if fast else 8, repeats=1))
 
     metrics: Dict[str, float] = {}

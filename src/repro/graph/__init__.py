@@ -12,7 +12,13 @@
 
 from repro.graph.maxflow import FlowNetwork, MaxFlowResult
 from repro.graph.visualize import st_graph_to_dot, topology_to_dot
-from repro.graph.stgraph import STGraph, build_st_graph
+from repro.graph.stgraph import (
+    STGraph,
+    STGraphTemplate,
+    TemplateSolveStats,
+    build_st_graph,
+    build_st_graph_template,
+)
 from repro.graph.cuts import (
     aggregator_cut,
     enumerate_partitions,
@@ -24,10 +30,13 @@ __all__ = [
     "FlowNetwork",
     "MaxFlowResult",
     "STGraph",
+    "STGraphTemplate",
+    "TemplateSolveStats",
     "st_graph_to_dot",
     "topology_to_dot",
     "aggregator_cut",
     "build_st_graph",
+    "build_st_graph_template",
     "enumerate_partitions",
     "sensor_cut",
     "trivial_cut",

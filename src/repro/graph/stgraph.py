@@ -38,12 +38,12 @@ min cut is the energy-optimal partition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.cells.cell import SOURCE_CELL, PortRef
 from repro.cells.topology import CellTopology
-from repro.errors import PartitionError
+from repro.errors import ConfigurationError, PartitionError
 from repro.graph.maxflow import INFINITY, FlowNetwork
 from repro.hw.energy import EnergyLibrary
 from repro.hw.wireless import WirelessLink
@@ -160,4 +160,254 @@ def build_st_graph(
         compute_energy=compute_energy,
         tx_energy=tx_energy,
         rx_energy=rx_energy,
+    )
+
+
+# -- parametric template (warm-started Lagrangian re-solves) -------------------
+
+
+@dataclass
+class TemplateSolveStats:
+    """Work counters of one :class:`STGraphTemplate` (for tests and tuning).
+
+    Attributes:
+        cold_solves: Solves that started from zero flow.
+        warm_solves: Solves restarted from a stored residual state.
+        cold_augmenting_paths: Augmenting paths pushed by the cold solves.
+        warm_augmenting_paths: Augmenting paths pushed by the warm solves.
+    """
+
+    cold_solves: int = 0
+    warm_solves: int = 0
+    cold_augmenting_paths: int = 0
+    warm_augmenting_paths: int = 0
+
+    @property
+    def total_solves(self) -> int:
+        """All solves run through the template."""
+        return self.cold_solves + self.warm_solves
+
+
+@dataclass
+class STGraphTemplate:
+    """A reusable, parametrically priced s-t graph.
+
+    The graph *structure* (nodes, arcs, twin pairing, CSR index) of one
+    ``(topology, energy_lib, link)`` context never changes across the
+    generator's Lagrangian search — only the capacities move, linearly in
+    the delay price: ``capacity(lambda) = base + lambda * coefficient``
+    per forward edge.  The template therefore builds the network once and
+    re-solves it via :meth:`~repro.graph.maxflow.FlowNetwork.clone_with_capacities`,
+    warm-starting each solve from the stored residual state of the largest
+    previously solved ``lambda' <= lambda``: capacities are non-decreasing
+    in lambda (all coefficients are non-negative), so the earlier flow is
+    still feasible and only the incremental flow must be augmented.
+
+    The template deliberately holds no :class:`~repro.cells.topology.CellTopology`
+    reference — just the derived arrays plus the cell-name set needed to
+    interpret cuts — so it is picklable and can be shipped to the worker
+    processes of :func:`repro.sim.parallel.sweep` even when the topology's
+    cell compute closures are not.
+
+    The warm-start contract (see ``docs/PERFORMANCE.md``): residual states
+    are reusable for any ``lambda >= lambda'`` of the *same* template;
+    whenever the topology, energy library or link model changes, the
+    template must be rebuilt (the generator does this automatically).
+
+    Attributes:
+        network: The structural prototype, carrying the ``lambda = 0``
+            base capacities.  Never solved directly — every solve runs on
+            a capacity clone.
+        cell_names: Real cell names (terminals/data nodes are stripped
+            from cut sides).
+        base_capacities: Per-forward-edge energy term (J).
+        delay_coefficients: Per-forward-edge delay term (s) priced by
+            lambda (J/s).
+        max_warm_states: Bound on stored residual states.
+        stats: Accumulated work counters.
+    """
+
+    network: FlowNetwork
+    cell_names: FrozenSet[str]
+    base_capacities: List[float]
+    delay_coefficients: List[float]
+    max_warm_states: int = 64
+    stats: TemplateSolveStats = field(default_factory=TemplateSolveStats)
+    _states: List[Tuple[float, List[float]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.base_capacities) != self.network.n_forward_edges:
+            raise ConfigurationError("base capacities do not match the network")
+        if len(self.delay_coefficients) != self.network.n_forward_edges:
+            raise ConfigurationError("delay coefficients do not match the network")
+        if any(c < 0 for c in self.delay_coefficients):
+            raise ConfigurationError("delay coefficients must be non-negative")
+        if self.max_warm_states < 1:
+            raise ConfigurationError("max_warm_states must be >= 1")
+
+    # -- warm-state bookkeeping ------------------------------------------------
+
+    def clear_warm_states(self) -> None:
+        """Drop every stored residual state (solves go cold again)."""
+        self._states.clear()
+
+    @property
+    def n_warm_states(self) -> int:
+        """Number of stored residual states."""
+        return len(self._states)
+
+    def _best_state(self, lam: float) -> Optional[Tuple[float, List[float]]]:
+        """The stored state with the largest ``lambda' <= lam``, if any."""
+        best: Optional[Tuple[float, List[float]]] = None
+        for state in self._states:
+            if state[0] <= lam and (best is None or state[0] > best[0]):
+                best = state
+        return best
+
+    def _store_state(self, lam: float, residual: List[float]) -> None:
+        for i, (stored_lam, _) in enumerate(self._states):
+            if stored_lam == lam:
+                self._states[i] = (lam, residual)
+                return
+        self._states.append((lam, residual))
+        self._states.sort(key=lambda s: s[0])
+        if len(self._states) > self.max_warm_states:
+            # Keep the lambda = 0 anchor and the spread of larger prices;
+            # evict the smallest non-anchor lambda (densest, least reused
+            # once the bisection has moved past it).
+            del self._states[1]
+
+    # -- solving ---------------------------------------------------------------
+
+    def capacities(self, lam: float) -> List[float]:
+        """Forward-edge capacities at one delay price."""
+        if lam < 0:
+            raise ConfigurationError("lambda must be non-negative")
+        if lam == 0.0:
+            return list(self.base_capacities)
+        return [
+            b + lam * c
+            for b, c in zip(self.base_capacities, self.delay_coefficients)
+        ]
+
+    def solve_lagrangian(
+        self, lam: float = 0.0, warm: bool = True
+    ) -> Tuple[FrozenSet[str], float]:
+        """Min-cut at one delay price; returns (in-sensor cells, capacity).
+
+        Args:
+            lam: The Lagrangian delay price in J/s (0 = pure energy cut).
+            warm: Restart from the best stored residual state when one
+                exists (and store this solve's state for later re-solves).
+                ``False`` forces a cold reference solve that leaves the
+                stored states untouched.
+        """
+        caps = self.capacities(lam)
+        state = self._best_state(lam) if warm else None
+        if state is None:
+            net = self.network.clone_with_capacities(caps)
+            base_flow = 0.0
+        else:
+            # Re-impose the earlier flow on the re-priced capacities: the
+            # flow on forward arc 2k is exactly its residual twin 2k+1.
+            # Capacities are non-decreasing in lambda, so the flow stays
+            # feasible; the clamp only guards pathological float drift.
+            _, residual = state
+            full = [0.0] * (2 * len(caps))
+            for k, c in enumerate(caps):
+                f = residual[2 * k + 1]
+                if f > c:
+                    f = c
+                full[2 * k] = c - f
+                full[2 * k + 1] = f
+            net = self.network.clone_with_capacities(residual_capacities=full)
+            base_flow = net.net_flow_from(FRONT)
+        result = net.max_flow(FRONT, BACK)
+        if state is None:
+            self.stats.cold_solves += 1
+            self.stats.cold_augmenting_paths += result.augmenting_paths
+        else:
+            self.stats.warm_solves += 1
+            self.stats.warm_augmenting_paths += result.augmenting_paths
+        total = base_flow + result.max_flow
+        if total == INFINITY:
+            raise PartitionError("s-t graph has no finite cut (bad construction)")
+        if warm:
+            self._store_state(lam, net.residual_capacities())
+        in_sensor = frozenset(
+            n for n in result.source_side if n in self.cell_names
+        )
+        return in_sensor, total
+
+
+def build_st_graph_template(
+    topology: CellTopology,
+    energy_lib: EnergyLibrary,
+    link: WirelessLink,
+    delay_coefficients: Mapping[str, float] | None = None,
+) -> STGraphTemplate:
+    """Build the parametric s-t graph template for one hardware context.
+
+    The construction mirrors :func:`build_st_graph` edge for edge, but
+    splits every capacity into its energy base and its per-lambda delay
+    coefficient so the same structure can be re-priced at any delay price.
+    The ``delay_coefficients`` mapping uses the same keys as
+    ``build_st_graph``'s ``delay_weights`` (``"cell:<name>"``,
+    ``"back:<name>"``, ``"tx:<cell>.<port>"``,
+    ``"rx:<cell>.<port>:<consumer>"``) holding the weight *per unit
+    lambda* (i.e. the delay in seconds attributed to that edge).
+
+    The one structural difference from a per-lambda cold build: the
+    Lagrangian back edges (``F -> cell``) are present whenever their
+    coefficient is positive, carrying zero capacity at ``lambda = 0``.
+    Zero-capacity edges are invisible to the solver's traversals, so cuts
+    and flow values are unaffected.
+    """
+    coeffs = dict(delay_coefficients or {})
+    net = FlowNetwork()
+    base: List[float] = []
+    coef: List[float] = []
+
+    def edge(u: str, v: str, energy: float, delay: float = 0.0) -> None:
+        net.add_edge(u, v, energy)
+        base.append(energy)
+        coef.append(delay)
+
+    consumers_map = topology.consumers_by_port()
+    result_ref = topology.result
+
+    for name, cell in topology.cells.items():
+        cost = energy_lib.cell_cost(cell.op_counts, cell.mode, cell.parallel_width)
+        edge(name, BACK, cost.energy_j, coeffs.get(f"cell:{name}", 0.0))
+        back_coef = coeffs.get(f"back:{name}", 0.0)
+        if back_coef > 0.0:
+            edge(FRONT, name, 0.0, back_coef)
+
+    for ref, port in topology.producer_ports():
+        port_consumers = consumers_map.get(ref, [])
+        is_result = ref == result_ref
+        if not port_consumers and not is_result:
+            continue
+        dnode = _data_node(ref)
+        producer = FRONT if ref.cell == SOURCE_CELL else ref.cell
+        tx = link.tx_energy(port.n_values, port.bits_per_value)
+        edge(producer, dnode, tx, coeffs.get(f"tx:{ref.cell}.{ref.port}", 0.0))
+        for consumer in port_consumers:
+            edge(dnode, consumer, INFINITY)
+            if ref.cell != SOURCE_CELL:
+                rx = link.rx_energy(port.n_values, port.bits_per_value)
+                edge(
+                    consumer,
+                    ref.cell,
+                    rx,
+                    coeffs.get(f"rx:{ref.cell}.{ref.port}:{consumer}", 0.0),
+                )
+        if is_result:
+            edge(dnode, BACK, INFINITY)
+
+    return STGraphTemplate(
+        network=net,
+        cell_names=frozenset(topology.cells),
+        base_capacities=base,
+        delay_coefficients=coef,
     )

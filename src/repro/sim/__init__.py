@@ -18,7 +18,12 @@
 
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
 from repro.sim.discharge import DischargeTrace, simulate_discharge
-from repro.sim.evaluate import PartitionMetrics, evaluate_partition
+from repro.sim.evaluate import (
+    PartitionEvaluationCache,
+    PartitionMetrics,
+    evaluate_partition,
+    metrics_identical,
+)
 from repro.sim.faults import (
     AggregatorStall,
     BurstLoss,
@@ -67,6 +72,7 @@ __all__ = [
     "burst_lengths",
     "MultiNodeBSN",
     "ParallelConfig",
+    "PartitionEvaluationCache",
     "PartitionMetrics",
     "SimulationReport",
     "battery_lifetime_hours",
@@ -74,6 +80,7 @@ __all__ = [
     "evaluate_partition",
     "fleet_reports",
     "fleet_simulations",
+    "metrics_identical",
     "parallel_map",
     "render_timeline",
     "run_campaigns",

@@ -22,8 +22,9 @@ whole Automatic XPro Generator.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
 
 from repro.cells.cell import SOURCE_CELL, PortRef
 from repro.cells.topology import CellTopology
@@ -208,3 +209,81 @@ def evaluate_partition(
         crossing_bits_up=bits_up,
         crossing_bits_down=bits_down,
     )
+
+
+def metrics_identical(a: PartitionMetrics, b: PartitionMetrics) -> bool:
+    """Bit-exact equality of two metrics records.
+
+    Float fields are compared by ``repr`` (round-trip exact, and unlike
+    ``==`` it treats two NaNs as equal); the ``in_sensor`` sets by set
+    equality, since frozenset *iteration order* depends on insertion
+    history and is not part of the value.
+    """
+    if a.in_sensor != b.in_sensor:
+        return False
+    return all(
+        repr(getattr(a, name)) == repr(getattr(b, name))
+        for name in a.__dataclass_fields__
+        if name != "in_sensor"
+    )
+
+
+class PartitionEvaluationCache:
+    """Bounded LRU memo for pure partition evaluations.
+
+    :func:`evaluate_partition` is deterministic in ``(topology, in_sensor,
+    energy_lib, link, cpu)``, and callers like the Automatic XPro Generator
+    hold the hardware context fixed while probing many partitions — so a
+    per-context memo keyed on the ``in_sensor`` frozenset alone is sound.
+    The *owner* is responsible for calling :meth:`clear` whenever its
+    context (topology or any hardware model) changes; the cache itself
+    cannot see those objects.
+
+    A ``maxsize`` of 0 disables caching (every lookup recomputes); the
+    default bound comfortably covers one Lagrangian search (~50 distinct
+    cuts) plus a sweep's worth of neighbouring contexts' repeats.
+
+    Attributes:
+        maxsize: Maximum number of retained entries (0 = disabled).
+        hits: Lookups served from the cache.
+        misses: Lookups that had to compute.
+        evictions: Entries dropped to respect ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise ConfigurationError("cache maxsize must be >= 0")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[FrozenSet[str], PartitionMetrics]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self,
+        in_sensor: FrozenSet[str],
+        compute: Callable[[FrozenSet[str]], PartitionMetrics],
+    ) -> PartitionMetrics:
+        """Return the memoized metrics for ``in_sensor``, computing on miss."""
+        if self.maxsize == 0:
+            self.misses += 1
+            return compute(in_sensor)
+        cached = self._entries.get(in_sensor)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(in_sensor)
+            return cached
+        self.misses += 1
+        metrics = compute(in_sensor)
+        self._entries[in_sensor] = metrics
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return metrics
+
+    def clear(self) -> None:
+        """Drop all entries (owner's context changed); counters survive."""
+        self._entries.clear()

@@ -114,6 +114,8 @@ def parallel_map(
     func: Callable[[Any], Any],
     items: Sequence[Any],
     config: Optional[ParallelConfig] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
 ) -> List[Any]:
     """Apply ``func`` to every item, preserving item order in the result.
 
@@ -125,6 +127,12 @@ def parallel_map(
             backend.
         config: Execution configuration; defaults to the process backend
             with one worker per CPU.
+        initializer: Optional module-level callable run once per worker
+            before any task (and once in-process under the serial
+            backend).  Use it to install per-run shared state so heavy
+            invariants cross the process boundary once per worker rather
+            than once per task.
+        initargs: Arguments for ``initializer`` (picklable).
 
     Returns:
         ``[func(item) for item in items]`` — same values, any backend.
@@ -134,9 +142,13 @@ def parallel_map(
     if not items:
         return []
     if config.backend == "serial":
+        if initializer is not None:
+            initializer(*initargs)
         return [func(item) for item in items]
     workers = min(config.resolved_workers(), len(items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(func, items, chunksize=config.chunksize))
 
 
@@ -228,18 +240,32 @@ def run_campaigns(
     return parallel_map(_run_campaign, tasks, config)
 
 
+#: Per-process shared sweep state installed by :func:`_init_sweep_shared`.
+#: Workers receive it once (pool initializer) instead of per task.
+_SWEEP_SHARED: Dict[str, Any] = {}
+
+
+def _init_sweep_shared(shared: Dict[str, Any]) -> None:
+    """Worker initializer: install the sweep's shared keyword arguments."""
+    global _SWEEP_SHARED
+    _SWEEP_SHARED = shared
+
+
 def _call_with_params(
     task: Tuple[Callable[..., Any], Tuple[Tuple[str, Any], ...]]
 ) -> Any:
     """Worker: evaluate one design-space point."""
     func, params = task
-    return func(**dict(params))
+    kwargs = dict(_SWEEP_SHARED)
+    kwargs.update(params)
+    return func(**kwargs)
 
 
 def sweep(
     func: Callable[..., Any],
     grid: Mapping[str, Sequence[Any]],
     config: Optional[ParallelConfig] = None,
+    shared: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[Dict[str, Any], Any]]:
     """Evaluate ``func`` over the cartesian product of a parameter grid.
 
@@ -252,6 +278,16 @@ def sweep(
         grid: Parameter name -> candidate values.  Iteration order of the
             mapping fixes the product order (first key varies slowest).
         config: Execution configuration.
+        shared: Extra keyword arguments passed to *every* point, shipped
+            once per worker (pool initializer) instead of once per task.
+            Use it for heavyweight sweep-invariant state — e.g. an
+            :class:`~repro.graph.stgraph.STGraphTemplate` or a
+            :class:`~repro.sim.evaluate.PartitionEvaluationCache` when the
+            topology does not vary across the grid.  Names must not
+            collide with grid keys.  Each worker operates on its own copy, so
+            mutations (accumulated warm states, memo entries) speed up
+            that worker without feeding back to the caller — results stay
+            bit-identical to the serial backend either way.
 
     Returns:
         ``(params, value)`` pairs in deterministic product order, where
@@ -260,8 +296,22 @@ def sweep(
     if not grid:
         raise ConfigurationError("sweep grid must name at least one parameter")
     names = list(grid.keys())
+    overlap = set(names) & set(shared or {})
+    if overlap:
+        raise ConfigurationError(
+            f"sweep grid and shared kwargs overlap: {sorted(overlap)}"
+        )
     combos = [
         tuple(zip(names, values)) for values in product(*(grid[n] for n in names))
     ]
-    results = parallel_map(_call_with_params, [(func, c) for c in combos], config)
+    try:
+        results = parallel_map(
+            _call_with_params,
+            [(func, c) for c in combos],
+            config,
+            initializer=_init_sweep_shared,
+            initargs=(dict(shared or {}),),
+        )
+    finally:
+        _init_sweep_shared({})  # don't leak serial-backend state across sweeps
     return [(dict(c), r) for c, r in zip(combos, results)]

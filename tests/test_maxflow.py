@@ -137,3 +137,139 @@ class TestAgainstBruteForce:
         result = net.max_flow(0, 5)
         expected = _brute_force_min_cut(nodes, edges, 0, 5)
         assert result.max_flow == pytest.approx(expected)
+
+
+def _random_network(raw_edges, infinite_mask):
+    """A network over nodes 0..5 with optional INFINITY edges.
+
+    Parallel edges are kept — they must accumulate like a single edge of
+    the summed capacity.
+    """
+    net = FlowNetwork()
+    net._node(0), net._node(5)  # ensure terminals exist
+    edges = []
+    for k, (u, v, c) in enumerate(raw_edges):
+        if u == v:
+            continue
+        capacity = INFINITY if infinite_mask & (1 << k) else float(c)
+        net.add_edge(u, v, capacity)
+        edges.append((u, v, capacity))
+    return net, edges
+
+
+class TestCrossSolver:
+    """Satellite: Dinic (CSR) vs push-relabel must agree on every graph."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 20)),
+            min_size=1,
+            max_size=14,
+        ),
+        st.integers(0, 2**14 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_dinic_agrees_with_push_relabel(self, raw_edges, infinite_mask):
+        dinic_net, edges = _random_network(raw_edges, infinite_mask)
+        if not edges:
+            return
+        pr_net, _ = _random_network(raw_edges, infinite_mask)
+        dinic = dinic_net.max_flow(0, 5)
+        pr = pr_net.max_flow_push_relabel(0, 5)
+        if dinic.max_flow == INFINITY:
+            # Push-relabel clamps INFINITY, so compare cut structure only.
+            assert pr.max_flow > sum(c for _, _, c in edges if c != INFINITY)
+            return
+        assert pr.max_flow == pytest.approx(dinic.max_flow, rel=1e-12, abs=1e-12)
+        # Both residual cuts must have capacity equal to the flow value.
+        for result in (dinic, pr):
+            cut_capacity = sum(c for _, _, c in result.cut_edges)
+            assert cut_capacity == pytest.approx(dinic.max_flow, abs=1e-9)
+
+    def test_parallel_edges_accumulate(self):
+        net = FlowNetwork()
+        for _ in range(3):
+            net.add_edge("s", "t", 2.0)
+        assert net.max_flow("s", "t").max_flow == 6.0
+        net2 = FlowNetwork()
+        for _ in range(3):
+            net2.add_edge("s", "t", 2.0)
+        assert net2.max_flow_push_relabel("s", "t").max_flow == 6.0
+
+    def test_infinite_grouping_edges_cross_solver(self):
+        """The s-t construction's INFINITY pattern: both solvers agree."""
+        def build():
+            net = FlowNetwork()
+            net.add_edge("s", "d", 5.0)     # tx edge into the data node
+            net.add_edge("d", "a", INFINITY)  # grouping edges
+            net.add_edge("d", "b", INFINITY)
+            net.add_edge("a", "t", 3.0)
+            net.add_edge("b", "t", 4.0)
+            return net
+        dinic = build().max_flow("s", "t")
+        pr = build().max_flow_push_relabel("s", "t")
+        assert dinic.max_flow == 5.0
+        assert pr.max_flow == pytest.approx(5.0)
+        assert dinic.source_side == pr.source_side
+
+
+class TestCapacityClones:
+    def _diamond(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4.0)
+        net.add_edge("a", "t", 4.0)
+        net.add_edge("s", "b", 6.0)
+        net.add_edge("b", "t", 6.0)
+        return net
+
+    def test_clone_solves_like_a_rebuild(self):
+        proto = self._diamond()
+        caps = proto.forward_capacities()
+        first = proto.clone_with_capacities(caps).max_flow("s", "t")
+        second = proto.clone_with_capacities(caps).max_flow("s", "t")
+        assert repr(first) == repr(second)
+        assert first.max_flow == 10.0
+
+    def test_clone_shares_structure_not_capacities(self):
+        proto = self._diamond()
+        clone = proto.clone_with_capacities([1.0, 1.0, 1.0, 1.0])
+        assert clone.max_flow("s", "t").max_flow == 2.0
+        # The prototype's capacities are untouched by the clone's solve.
+        assert proto.forward_capacities() == [4.0, 4.0, 6.0, 6.0]
+
+    def test_clone_rejects_growth(self):
+        clone = self._diamond().clone_with_capacities([1.0] * 4)
+        with pytest.raises(ConfigurationError):
+            clone.add_edge("x", "y", 1.0)
+
+    def test_clone_argument_validation(self):
+        proto = self._diamond()
+        with pytest.raises(ConfigurationError):
+            proto.clone_with_capacities()
+        with pytest.raises(ConfigurationError):
+            proto.clone_with_capacities(
+                [1.0] * 4, residual_capacities=[0.0] * 8
+            )
+        with pytest.raises(ConfigurationError):
+            proto.clone_with_capacities([1.0])  # wrong length
+        with pytest.raises(ConfigurationError):
+            proto.clone_with_capacities([-1.0, 1.0, 1.0, 1.0])
+
+    def test_residual_restart_reports_incremental_flow(self):
+        proto = self._diamond()
+        half = proto.clone_with_capacities([2.0, 2.0, 3.0, 3.0])
+        first = half.max_flow("s", "t")
+        assert first.max_flow == 5.0
+        # Re-impose the found flow on the full capacities and resume.
+        residual = half.residual_capacities()
+        full_caps = proto.forward_capacities()
+        resumed_state = [0.0] * len(residual)
+        for k, cap in enumerate(full_caps):
+            flow = residual[2 * k + 1]
+            resumed_state[2 * k] = cap - flow
+            resumed_state[2 * k + 1] = flow
+        resumed = proto.clone_with_capacities(residual_capacities=resumed_state)
+        assert resumed.net_flow_from("s") == 5.0
+        second = resumed.max_flow("s", "t")
+        assert second.max_flow == 5.0  # incremental only
+        assert second.source_side == self._diamond().max_flow("s", "t").source_side

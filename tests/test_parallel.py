@@ -6,6 +6,7 @@ import pytest
 from repro.core.generator import AutomaticXProGenerator
 from repro.errors import ConfigurationError
 from repro.graph.cuts import sensor_cut
+from repro.graph.stgraph import build_st_graph_template
 from repro.hw.arq import ARQConfig
 from repro.hw.wireless import WirelessLink
 from repro.sim.channel import GilbertElliottParams
@@ -74,6 +75,19 @@ def _square(x):
 
 def _affine(a, b):
     return 3 * a + b
+
+
+def _priced_cut(template, lam):
+    """Worker: one Lagrangian price point against a shared s-t template.
+
+    Reports the cut only: the minimal min-cut is unique, so it is invariant
+    to warm-start history, whereas the flow *total* accumulates in a
+    history-dependent order and may drift by an ulp between schedules.  The
+    generator consumes only the cut (metrics are recomputed from it), so
+    the cut is the decision-relevant, bit-stable output.
+    """
+    in_sensor, _total = template.solve_lagrangian(lam)
+    return sorted(in_sensor)
 
 
 class TestConfig:
@@ -190,6 +204,53 @@ class TestSweep:
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigurationError):
             sweep(_affine, {}, SERIAL)
+
+
+class TestSweepShared:
+    """Satellite: heavyweight sweep-invariant state ships once per worker."""
+
+    @pytest.fixture(scope="class")
+    def priced_template(self, request):
+        """A picklable s-t graph template plus the natural price scale."""
+        topo = request.getfixturevalue("tiny_topology")
+        lib = request.getfixturevalue("energy_lib_90")
+        cpu = request.getfixturevalue("cpu_model")
+        link = WirelessLink("model3")
+        gen = AutomaticXProGenerator(topo, lib, link, cpu)
+        template = build_st_graph_template(topo, lib, link, gen._delay_weights(1.0))
+        return template, gen._initial_lambda()
+
+    def test_shared_template_serial_matches_process(self, priced_template):
+        template, lam0 = priced_template
+        grid = {"lam": [lam0 * f for f in (0.0, 0.02, 0.1, 0.5, 1.0, 4.0)]}
+        serial = sweep(_priced_cut, grid, SERIAL, shared={"template": template})
+        process = sweep(_priced_cut, grid, PROCESS, shared={"template": template})
+        assert repr(serial) == repr(process)
+        # Same values a plain in-process loop over the ladder produces.
+        expected = [_priced_cut(template=template, lam=lam) for lam in grid["lam"]]
+        assert [value for _, value in serial] == expected
+
+    def test_process_workers_do_not_feed_back(self, priced_template):
+        """Worker-side warm states never mutate the caller's template."""
+        template, lam0 = priced_template
+        before = template.stats.total_solves
+        sweep(
+            _priced_cut,
+            {"lam": [0.0, lam0, 2.0 * lam0]},
+            PROCESS,
+            shared={"template": template},
+        )
+        assert template.stats.total_solves == before
+
+    def test_shared_keys_must_not_shadow_grid(self, priced_template):
+        template, _ = priced_template
+        with pytest.raises(ConfigurationError):
+            sweep(
+                _priced_cut,
+                {"lam": [0.0], "template": [template]},
+                SERIAL,
+                shared={"template": template},
+            )
 
 
 class TestSeededSimulatorFanout:
