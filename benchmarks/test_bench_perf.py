@@ -2,8 +2,9 @@
 
 Times the vectorized hot paths against their scalar references — feature
 extraction, multi-level DWT, ensemble inference, the end-to-end segment
-pipeline and the warm-started generator fast path — and writes the
-machine-readable report to
+pipeline, the warm-started generator fast path and the batch wire data
+plane (framing/CRC/Q16.16 codec) — and writes the machine-readable
+report to
 ``benchmarks/results/BENCH_perf.json`` (``results-fast/`` under
 ``XPRO_BENCH_FAST=1``).  See ``docs/PERFORMANCE.md`` for the report
 schema and the gate semantics.
@@ -86,6 +87,36 @@ def test_generator_speedup_floor(perf_report):
     case = perf_report["cases"]["generator"]
     assert case["equivalent"], "warm and cold generator paths disagreed"
     assert case["speedup"] >= 5.0, f"generator speedup {case['speedup']:.2f} < 5"
+
+
+def test_wire_speedup_floor(perf_report):
+    """Acceptance: >= 8x on the batch wire data plane at 512 payloads.
+
+    The wire case's equivalence flag also covers the seeded
+    scalar-vs-fast campaign replay, so this floor doubles as the
+    bit-identity acceptance check for the campaign fast path.
+    """
+    case = perf_report["cases"]["wire"]
+    assert case["n_items"] >= 512
+    assert case["equivalent"], "batch wire plane diverged from the scalar path"
+    assert case["speedup"] >= 8.0, f"wire speedup {case['speedup']:.2f} < 8"
+
+
+def test_fleet_serial_throughput_floor(perf_report):
+    """The fleet sweep is gated on absolute serial throughput, not speedup.
+
+    Its parallel/serial ratio tracks the runner's core count (below 1 on
+    single-core CI), so instead of a ratio floor the serial DES itself
+    must clear a conservative networks-per-second floor — a 10x
+    regression in the simulator would trip this on any hardware.
+    """
+    case = perf_report["cases"].get("fleet")
+    if case is None:
+        pytest.skip("fleet stage not collected in this run")
+    assert case["equivalent"], "serial and parallel fleet sweeps disagreed"
+    assert case["scalar_per_s"] >= 50.0, (
+        f"serial fleet throughput {case['scalar_per_s']:.1f} networks/s < 50"
+    )
 
 
 def test_regression_gate(perf_report):

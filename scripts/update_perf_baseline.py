@@ -13,8 +13,10 @@ regression gate green under timer noise (single-run ratios vary ~±40% on
 busy runners) while a real regression — losing vectorization collapses
 every tracked ratio to ~1x — still fails by an order of magnitude.
 
-Run this after intentionally changing hot-path performance, and commit
-the refreshed JSON with the change.  See docs/PERFORMANCE.md.
+Run this after intentionally changing hot-path performance — or after
+adding a tracked stage (the gate script rejects baselines missing one,
+e.g. ``wire.speedup``) — and commit the refreshed JSON with the change.
+See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations

@@ -102,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=11,
         help="campaign seed (default: %(default)s)",
     )
+    res.add_argument(
+        "--scalar-wire", action="store_true",
+        help=(
+            "force the scalar event-by-event campaign runner instead of "
+            "the vectorized fast path (bit-identical, only slower)"
+        ),
+    )
     _add_scale_args(res)
 
     integ = sub.add_parser(
@@ -124,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
     integ.add_argument(
         "--corruption-rate", type=float, default=0.05,
         help="per-frame bit-flip probability (default: %(default)s)",
+    )
+    integ.add_argument(
+        "--scalar-wire", action="store_true",
+        help=(
+            "force the scalar event-by-event campaign runner instead of "
+            "the vectorized fast path (bit-identical, only slower)"
+        ),
     )
     _add_scale_args(integ)
 
@@ -264,6 +278,7 @@ def _cmd_resilience(args: argparse.Namespace) -> str:
         resilience_rows(
             ctx, symbol, args.node, args.wireless,
             n_events=args.events, seed=args.seed,
+            fast=False if args.scalar_wire else None,
         ),
         title=(
             f"Resilience under the seeded fault campaign ({symbol} at "
@@ -290,6 +305,7 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
             ctx, symbol, args.node, args.wireless,
             n_events=args.events, seed=args.seed,
             corruption_rate=args.corruption_rate,
+            fast=False if args.scalar_wire else None,
         ),
         title=(
             f"Wire integrity under bit-flip injection ({symbol} at "

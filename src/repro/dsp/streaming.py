@@ -22,7 +22,18 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+
+
+def _vectorizable(samples: Iterable[float]) -> bool:
+    """Whether ``samples`` qualifies for the ndarray extend fast paths."""
+    return (
+        isinstance(samples, np.ndarray)
+        and samples.ndim == 1
+        and samples.dtype.kind in "fiu"
+    )
 
 #: Features the single-pass accumulator produces, in canonical order.
 STREAMING_FEATURES = ("max", "min", "mean", "var", "std", "skew", "kurt")
@@ -75,7 +86,38 @@ class StreamingMoments:
             self._min = x
 
     def extend(self, samples: Iterable[float]) -> None:
-        """Consume a burst of samples."""
+        """Consume a burst of samples.
+
+        A one-dimensional numeric ndarray takes a vectorized merge path
+        whose result matches the per-sample loop bit-for-bit: ``cumsum``
+        reproduces the loop's sequential accumulation order exactly, and
+        the elementwise powers are the same products the loop forms.  Any
+        other input — and any burst containing a non-finite sample, which
+        must leave the partial state and raise exactly where the loop
+        would — falls back to per-sample updates.
+        """
+        if _vectorizable(samples):
+            x = samples.astype(np.float64, copy=False)
+            if x.size == 0:
+                return
+            if np.isfinite(x).all():
+                x2 = x * x
+                self._s1 = float(np.cumsum(np.concatenate(([self._s1], x)))[-1])
+                self._s2 = float(np.cumsum(np.concatenate(([self._s2], x2)))[-1])
+                self._s3 = float(
+                    np.cumsum(np.concatenate(([self._s3], x2 * x)))[-1]
+                )
+                self._s4 = float(
+                    np.cumsum(np.concatenate(([self._s4], x2 * x2)))[-1]
+                )
+                self._n += x.size
+                top = float(x.max())
+                bot = float(x.min())
+                if top > self._max:
+                    self._max = top
+                if bot < self._min:
+                    self._min = bot
+                return
         for sample in samples:
             self.update(sample)
 
@@ -172,6 +214,34 @@ class CrossingCounter:
         self._n += 1
 
     def extend(self, samples: Iterable[float]) -> None:
-        """Consume a burst of samples."""
+        """Consume a burst of samples.
+
+        A one-dimensional numeric ndarray takes a vectorized path that
+        matches the per-sample loop exactly: on-level (and NaN) samples
+        inherit the preceding sign via an index forward-fill, leading
+        ties inherit the pre-burst sign (or +1 at stream start), and
+        sign changes are counted against the shifted sign sequence.
+        """
+        if _vectorizable(samples):
+            x = samples.astype(np.float64, copy=False) - self.level
+            n = x.size
+            if n == 0:
+                return
+            # NaN compares False on both sides, so it lands in the
+            # "inherit previous sign" bucket — same as the scalar update.
+            raw = np.where(x > 0, 1, np.where(x < 0, -1, 0))
+            nonzero_at = np.where(raw != 0, np.arange(n), -1)
+            last_nonzero = np.maximum.accumulate(nonzero_at)
+            seed = self._last_sign or 1
+            signs = np.where(
+                last_nonzero >= 0, raw[np.clip(last_nonzero, 0, None)], seed
+            )
+            changed = signs != np.concatenate(([self._last_sign], signs[:-1]))
+            if self._n == 0:
+                changed[0] = False
+            self._crossings += int(np.count_nonzero(changed))
+            self._last_sign = int(signs[-1])
+            self._n += n
+            return
         for sample in samples:
             self.update(sample)

@@ -18,9 +18,17 @@ reference and the vectorised batch path — for each stage of the pipeline:
   cold path (graph rebuilt, Dinic from scratch, no memo) vs the warm
   fast path (shared s-t graph template, residual warm-starts,
   partition-evaluation memo);
+- **wire**: the wire data plane — per-value Q16.16 packing, per-byte
+  CRC-16 and per-frame encode/decode (:mod:`repro.hw.framing` scalar
+  reference) vs the batch codec (``encode_values``/``encode_frames``/
+  ``decode_frames``/``decode_values``); its equivalence flag also
+  asserts a seeded scalar-vs-fast :class:`~repro.sim.faults.
+  FaultCampaign` byte-level run replays bit-identically;
 - **fleet**: the serial vs process-parallel fan-out of one BSN
-  design-space sweep (informational — its speedup depends on the worker
-  count of the machine and is therefore never a tracked gate metric).
+  design-space sweep (informational — its speedup tracks the worker
+  count of the machine, so it is never a tracked gate metric; the
+  benchmark suite holds it to an absolute serial-throughput floor
+  instead).
 
 Every benchmark first asserts the two paths agree (decision-identical or
 within float precision), so a timing run is also an equivalence check.
@@ -62,6 +70,7 @@ TRACKED_METRICS = (
     "inference.speedup",
     "end_to_end.speedup",
     "generator.speedup",
+    "wire.speedup",
 )
 
 #: Stage names accepted by :func:`collect_perf_report`'s ``stages`` filter.
@@ -71,6 +80,7 @@ ALL_STAGES = (
     "inference",
     "end_to_end",
     "generator",
+    "wire",
     "fleet",
 )
 
@@ -326,20 +336,11 @@ def bench_generator(
     return PerfCase("generator", n_limits, scalar, batch, equivalent)
 
 
-def bench_fleet(
-    n_networks: int = 8, n_events: int = 200, repeats: int = 1
-) -> PerfCase:
-    """Time a BSN fleet simulation sweep: serial vs process-parallel.
-
-    Informational only — the speedup tracks the machine's worker count
-    (and is below 1 on single-core CI runners, where the pool only adds
-    overhead), so it is deliberately not a tracked gate metric.
-    """
+def _bench_metrics():
+    """Fixed cross-end operating point shared by the wire/fleet benches."""
     from repro.sim.evaluate import PartitionMetrics
-    from repro.sim.multinode import BSNNode, MultiNodeBSN
-    from repro.sim.parallel import SERIAL, fleet_simulations
 
-    metrics = PartitionMetrics(
+    return PartitionMetrics(
         in_sensor=frozenset({"cell"}),
         sensor_compute_j=2e-6,
         sensor_tx_j=1e-6,
@@ -352,6 +353,154 @@ def bench_fleet(
         crossing_bits_up=512,
         crossing_bits_down=0,
     )
+
+
+def bench_wire(
+    n_payloads: int = 512,
+    values_per_payload: int = 24,
+    repeats: int = 3,
+    seed: int = 2025,
+) -> PerfCase:
+    """Time the wire data plane: scalar vs batch framing/CRC/codec.
+
+    One item is a full payload round trip — Q16.16 serialisation,
+    fragmentation into CRC-protected frames, receiver-side decode and
+    value recovery:
+
+    - *scalar path*: :func:`~repro.hw.framing.encode_values_scalar`,
+      per-frame :func:`~repro.hw.framing.fragment_payload` /
+      :func:`~repro.hw.framing.decode_frame` (per-byte CRC loops), then
+      :func:`~repro.hw.framing.decode_values_scalar` — the pre-batch
+      reference implementations;
+    - *batch path*: the vectorised codec over all payloads at once
+      (:func:`~repro.hw.framing.encode_values`,
+      :func:`~repro.hw.framing.encode_frames`,
+      :func:`~repro.hw.framing.decode_frames`,
+      :func:`~repro.hw.framing.decode_values`).
+
+    ``equivalent`` asserts byte-identical frames, exactly equal decoded
+    values, *and* that a seeded byte-level :class:`~repro.sim.faults.
+    FaultCampaign` replays bit-identically through its fast path.
+    """
+    from repro.hw.arq import ARQConfig
+    from repro.hw.framing import (
+        SEQ_MODULUS,
+        FramingConfig,
+        decode_frame,
+        decode_frames,
+        decode_values,
+        decode_values_scalar,
+        encode_frames,
+        encode_values,
+        encode_values_scalar,
+        fragment_payload,
+    )
+    from repro.sim.channel import GilbertElliottParams
+    from repro.sim.faults import (
+        BurstLoss,
+        FaultCampaign,
+        IntegrityConfig,
+        PayloadCorruption,
+        reports_identical,
+    )
+    from repro.sim.simulator import CrossEndSimulator
+
+    if n_payloads < 1 or values_per_payload < 1:
+        raise ConfigurationError(
+            "n_payloads and values_per_payload must be positive"
+        )
+    config = FramingConfig(max_payload_bytes=64, crc=True)
+    values = np.random.default_rng(seed).uniform(
+        -1000.0, 1000.0, (n_payloads, values_per_payload)
+    )
+    payload_len = values_per_payload * 4  # Q16.16 words
+    n_chunks = -(-payload_len // config.max_payload_bytes)
+
+    def run_scalar():
+        decoded = []
+        seq = 0
+        for row in values:
+            payload = encode_values_scalar(row)
+            frames = fragment_payload(payload, seq, config)
+            seq = (seq + len(frames)) % SEQ_MODULUS
+            parts = [decode_frame(frame, config).payload for frame in frames]
+            decoded.append(decode_values_scalar(b"".join(parts)))
+        return decoded
+
+    def run_batch():
+        blob = encode_values(values)
+        chunks = [
+            blob[start : start + min(config.max_payload_bytes,
+                                     payload_len - offset)]
+            for base in range(0, len(blob), payload_len)
+            for offset in range(0, payload_len, config.max_payload_bytes)
+            for start in (base + offset,)
+        ]
+        index = np.arange(n_payloads * n_chunks)
+        matrix, lengths = encode_frames(
+            chunks,
+            index % SEQ_MODULUS,
+            config,
+            last=(index % n_chunks) == n_chunks - 1,
+        )
+        batch = decode_frames(matrix, config, lengths)
+        decoded = decode_values(b"".join(batch.payloads))  # type: ignore[arg-type]
+        return matrix, lengths, decoded.reshape(n_payloads, values_per_payload)
+
+    scalar_decoded = run_scalar()
+    matrix, lengths, batch_decoded = run_batch()
+    seq = 0
+    frames_ok = True
+    for i, row in enumerate(values):
+        frames = fragment_payload(encode_values_scalar(row), seq, config)
+        seq = (seq + len(frames)) % SEQ_MODULUS
+        for j, frame in enumerate(frames):
+            r = i * n_chunks + j
+            if matrix[r, : int(lengths[r])].tobytes() != frame:
+                frames_ok = False
+    values_ok = all(
+        np.array_equal(scalar_decoded[i], batch_decoded[i])
+        for i in range(n_payloads)
+    )
+
+    campaign = FaultCampaign(
+        [
+            BurstLoss(GilbertElliottParams(0.01, 0.20, 0.005, 0.5)),
+            PayloadCorruption(0.05, mode="bitflip"),
+        ],
+        seed=seed,
+    )
+    simulator = CrossEndSimulator(_bench_metrics(), period_s=0.25, seed=seed)
+    integrity = IntegrityConfig(framing=config, values_per_payload=8)
+    arq = ARQConfig(max_retries=3, timeout_s=2e-3)
+    campaign_ok = reports_identical(
+        campaign.run(simulator, 200, arq=arq, integrity=integrity, fast=False),
+        campaign.run(simulator, 200, arq=arq, integrity=integrity, fast=True),
+    )
+
+    equivalent = frames_ok and values_ok and campaign_ok
+    scalar = _best_wall_s(run_scalar, repeats)
+    batch = _best_wall_s(run_batch, repeats)
+    return PerfCase("wire", n_payloads, scalar, batch, equivalent)
+
+
+def bench_fleet(
+    n_networks: int = 16, n_events: int = 1000, repeats: int = 1
+) -> PerfCase:
+    """Time a BSN fleet simulation sweep: serial vs process-parallel.
+
+    Informational only — the speedup tracks the machine's worker count
+    (and is below 1 on single-core CI runners, where the pool only adds
+    overhead), so it is deliberately not a tracked gate metric.  The
+    workload is sized past pool amortisation so multi-core machines see
+    a meaningful ratio; correctness is held by the equivalence flag and
+    by the absolute serial-throughput floor asserted in
+    ``benchmarks/test_bench_perf.py``.
+    """
+    from repro.sim.multinode import BSNNode, MultiNodeBSN
+    from repro.sim.parallel import SERIAL, fleet_simulations
+
+    metrics = _bench_metrics()
     fleet = [
         MultiNodeBSN(
             [
@@ -417,8 +566,16 @@ def collect_perf_report(
         cases.append(bench_end_to_end(n_events=256, repeats=repeats))
     if wanted("generator"):
         cases.append(bench_generator(n_limits=6, repeats=repeats))
+    if wanted("wire"):
+        cases.append(bench_wire(n_payloads=512, repeats=repeats))
     if include_fleet and wanted("fleet"):
-        cases.append(bench_fleet(n_networks=4 if fast else 8, repeats=1))
+        cases.append(
+            bench_fleet(
+                n_networks=6 if fast else 16,
+                n_events=300 if fast else 1000,
+                repeats=1,
+            )
+        )
 
     metrics: Dict[str, float] = {}
     for case in cases:

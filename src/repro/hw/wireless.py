@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
 from repro.hw.framing import FramingConfig
@@ -173,6 +175,34 @@ class WirelessLink:
             self.framing.framed_bits(payload_bytes)
             + n_frames * self.model.header_bits
         )
+
+    def payload_bits_batch(
+        self, n_values: np.ndarray, bits_per_value: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`payload_bits` over an array of payload sizes.
+
+        Applies the same accounting — including framed fragmentation when
+        the link carries a :class:`~repro.hw.framing.FramingConfig` — to
+        every entry at once, riding the ndarray-aware
+        :meth:`FramingConfig.frame_count` / :meth:`FramingConfig.framed_bits`
+        planning helpers.  Entry ``i`` equals
+        ``payload_bits(n_values[i], bits_per_value)`` exactly.
+        """
+        sizes = np.asarray(n_values, dtype=np.int64)
+        if sizes.ndim != 1:
+            raise ConfigurationError("n_values must be one-dimensional")
+        if bits_per_value <= 0 or (sizes < 0).any():
+            raise ConfigurationError("invalid payload shape")
+        if self.framing is None:
+            bits = sizes * bits_per_value + self.model.header_bits
+            return np.where(sizes == 0, 0, bits)
+        payload_bytes = -(-sizes * bits_per_value // 8)
+        n_frames = self.framing.frame_count(payload_bytes)
+        bits = (
+            self.framing.framed_bits(payload_bytes)
+            + n_frames * self.model.header_bits
+        )
+        return np.where(sizes == 0, 0, bits)
 
     def framing_overhead_bits(self, n_values: int, bits_per_value: int) -> int:
         """Extra on-air bits the framing layer adds over the legacy path."""

@@ -101,11 +101,44 @@ class GilbertElliottChannel:
         loss_prob = p.loss_bad if self._bad else p.loss_good
         return bool(self._rng.random() < loss_prob)
 
-    def outcomes(self, n: int) -> np.ndarray:
-        """Boolean loss outcomes for ``n`` consecutive payloads."""
+    def outcome_block(self, n: int) -> np.ndarray:
+        """Vectorized :meth:`next_outcome` for ``n`` consecutive payloads.
+
+        Consumes the generator stream in exactly the scalar order (one
+        transition uniform then one loss uniform per payload), so the
+        outcomes — and the chain state left behind — are bit-identical
+        to ``n`` sequential :meth:`next_outcome` calls on the same seed.
+
+        The state recurrence is resolved without a Python loop: each
+        step's transition uniform classifies it as a *setter* (pins the
+        state regardless of history), a *flip* (both transition tests
+        fire, so the state toggles), or an identity; the state at step
+        ``t`` is then the last setter's value XOR the parity of flips
+        since it, computed with ``maximum.accumulate`` and ``cumsum``.
+        """
         if n <= 0:
             raise ConfigurationError("n must be positive")
-        return np.array([self.next_outcome() for _ in range(n)])
+        p = self.params
+        draws = self._rng.random(2 * n)
+        ut, ul = draws[0::2], draws[1::2]
+        would_enter_bad = ut < p.p_good_to_bad
+        would_recover = ut < p.p_bad_to_good
+        flip = would_enter_bad & would_recover
+        setter = would_enter_bad ^ would_recover
+        idx = np.arange(n)
+        last_set = np.maximum.accumulate(np.where(setter, idx, -1))
+        flips = np.cumsum(flip)
+        set_val = would_enter_bad.astype(np.int64)
+        anchor = np.clip(last_set, 0, None)
+        base = np.where(last_set >= 0, set_val[anchor], np.int64(self._bad))
+        parity = np.where(last_set >= 0, flips - flips[anchor], flips) & 1
+        state = base ^ parity
+        self._bad = bool(state[-1])
+        return ul < np.where(state, p.loss_bad, p.loss_good)
+
+    def outcomes(self, n: int) -> np.ndarray:
+        """Boolean loss outcomes for ``n`` consecutive payloads."""
+        return self.outcome_block(n)
 
 
 def burst_lengths(outcomes: np.ndarray) -> np.ndarray:

@@ -24,6 +24,17 @@ model, the degradation policy and the last-known-good cache before each
 run, so two runs of the same campaign produce identical
 :class:`ResilienceReport` objects.
 
+Campaigns built purely from the fault models above also have a *fast
+path* (``run(..., fast=...)``): loss outcomes and retry decisions are
+pre-sampled in blocks (one :meth:`~repro.sim.channel.GilbertElliottChannel.
+outcome_block` / ``Generator.random`` block per stochastic fault, served
+through a cursor in exactly the scalar consumption order), jitter factors
+and payload words are drawn as matrices, and byte-level payloads run
+through the batch frame codec of :mod:`repro.hw.framing`.  The report is
+bit-identical to the scalar path under the same seed; only the
+post-run internal RNG positions of the fault models differ (harmless,
+because every ``run()`` starts with :meth:`FaultCampaign.reset`).
+
 The runner injects the faults into a :class:`~repro.sim.simulator.
 CrossEndSimulator` configuration (its partition metrics, event period and
 jitter model), simulates the bounded-retry ARQ of :mod:`repro.hw.arq`
@@ -37,20 +48,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.degrade import GracefulDegradationPolicy, LastKnownGoodCache
-from repro.dsp.fixedpoint import quantize_array
+from repro.dsp.fixedpoint import Q16_16, quantize_array
 from repro.errors import ConfigurationError, IntegrityError, SimulationError
-from repro.hw.arq import ARQConfig, UNBOUNDED_ARQ
+from repro.hw.arq import DEFAULT_MAX_SIMULATED_TRIES, ARQConfig, UNBOUNDED_ARQ
 from repro.hw.framing import (
     SEQ_MODULUS,
     FramingConfig,
     decode_frame,
+    encode_frames,
     encode_values,
     fragment_payload,
+    pack_byte_rows,
 )
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams
 from repro.sim.evaluate import PartitionMetrics
@@ -233,6 +247,71 @@ class PayloadCorruption(FaultModel):
             mutated[int(pos) // 8] ^= 1 << (int(pos) % 8)
         return bytes(mutated)
 
+    def corrupt_frames(
+        self,
+        event_index: int,
+        attempt: int,
+        frames: Union[np.ndarray, Sequence[bytes]],
+        lengths: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch twin of :meth:`corrupt_frame` over many frames at once.
+
+        The private RNG is consumed in exactly the scalar per-frame order
+        (one trigger uniform per non-empty frame, then the flip-count and
+        position draws of triggered frames), so row ``i`` of the result is
+        byte-identical to ``corrupt_frame(event_index, attempt, i,
+        frames[i])``; the flips themselves are applied in one vectorized
+        ``bitwise_xor`` scatter instead of a per-bit Python loop.
+
+        Args:
+            frames: Padded ``(n, max_len)`` uint8 matrix (with per-frame
+                ``lengths``; rows assumed full-width when omitted) or a
+                sequence of byte strings.
+
+        Returns:
+            ``(matrix, lengths, corrupted)``: the mutated copy of the
+            padded frame matrix, per-frame lengths, and the per-frame
+            corruption mask (True where any bit was flipped).
+        """
+        if isinstance(frames, np.ndarray):
+            if frames.ndim != 2:
+                raise ConfigurationError(
+                    f"frames must be a 2-D byte matrix, got shape {frames.shape}"
+                )
+            matrix = np.array(frames, dtype=np.uint8, copy=True)
+            if lengths is None:
+                lens = np.full(len(matrix), matrix.shape[1], dtype=np.int64)
+            else:
+                lens = np.asarray(lengths, dtype=np.int64)
+        else:
+            matrix, lens = pack_byte_rows(list(frames))
+        corrupted = np.zeros(len(matrix), dtype=bool)
+        if self.mode != "bitflip":
+            return matrix, lens, corrupted
+        rng = self._require_rng()
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        flips: List[np.ndarray] = []
+        for i in range(len(matrix)):
+            n_bits = int(lens[i]) * 8
+            if n_bits == 0:
+                continue
+            if rng.random() >= self.rate:
+                continue
+            n_flips = min(int(rng.integers(1, self.max_bit_flips + 1)), n_bits)
+            positions = rng.choice(n_bits, size=n_flips, replace=False)
+            corrupted[i] = True
+            rows.append(np.full(n_flips, i, dtype=np.int64))
+            cols.append(positions // 8)
+            flips.append((1 << (positions % 8)).astype(np.uint8))
+        if rows:
+            np.bitwise_xor.at(
+                matrix,
+                (np.concatenate(rows), np.concatenate(cols)),
+                np.concatenate(flips),
+            )
+        return matrix, lens, corrupted
+
 
 @dataclass
 class SensorBrownout(FaultModel):
@@ -346,8 +425,29 @@ class ResilienceReport:
     corrupted_deliveries: int = 0
     integrity_discards: int = 0
 
+    @cached_property
+    def _status_counts(self) -> Dict[str, int]:
+        """Status histogram, computed once per report instance."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    @cached_property
+    def _served_latency_array(self) -> np.ndarray:
+        """Latencies of served (non-dropped) events as one float64 array.
+
+        Cached so the latency statistics below scan ``self.records`` once
+        per report instead of once per property access.  Safe on a frozen
+        dataclass: ``records`` is set at construction and never mutated.
+        """
+        return np.asarray(
+            [r.latency_s for r in self.records if r.status != DROPPED],
+            dtype=np.float64,
+        )
+
     def _count(self, status: str) -> int:
-        return sum(1 for r in self.records if r.status == status)
+        return self._status_counts.get(status, 0)
 
     @property
     def n_events(self) -> int:
@@ -382,19 +482,19 @@ class ResilienceReport:
         return 1.0 - self.availability
 
     def _served_latencies(self) -> List[float]:
-        return [r.latency_s for r in self.records if r.status != DROPPED]
+        return self._served_latency_array.tolist()
 
     @property
     def mean_latency_s(self) -> float:
         """Mean decision latency over served events (NaN if none)."""
-        served = self._served_latencies()
-        return float(np.mean(served)) if served else math.nan
+        served = self._served_latency_array
+        return float(np.mean(served)) if served.size else math.nan
 
     @property
     def max_latency_s(self) -> float:
         """Worst decision latency over served events (NaN if none)."""
-        served = self._served_latencies()
-        return max(served) if served else math.nan
+        served = self._served_latency_array
+        return float(served.max()) if served.size else math.nan
 
     @property
     def worst_tries(self) -> int:
@@ -405,8 +505,8 @@ class ResilienceReport:
         """Latency percentile over served events (NaN if none served)."""
         if not 0 <= percentile <= 100:
             raise ConfigurationError("percentile must be in [0, 100]")
-        served = self._served_latencies()
-        return float(np.percentile(served, percentile)) if served else math.nan
+        served = self._served_latency_array
+        return float(np.percentile(served, percentile)) if served.size else math.nan
 
     # -- integrity (byte-level runs) ----------------------------------------------
 
@@ -431,6 +531,42 @@ class ResilienceReport:
         if not self.records:
             return 0.0
         return self.corrupted_deliveries / self.n_events
+
+
+def reports_identical(a: ResilienceReport, b: ResilienceReport) -> bool:
+    """Field-exact comparison of two reports, treating NaN == NaN.
+
+    Dataclass equality calls NaN latencies (dropped events) unequal, so
+    ``a == b`` is False for any run with a drop even when the replay is
+    perfect.  This helper compares every record field and every counter
+    with NaN allowed to match NaN — the right notion of "bit-identical
+    replay" for scalar-vs-fast and serial-vs-parallel equivalence checks.
+    """
+    if len(a.records) != len(b.records):
+        return False
+    for x, y in zip(a.records, b.records):
+        if (x.index, x.status, x.tries, x.fallback, x.staleness, x.corrupted) != (
+            y.index, y.status, y.tries, y.fallback, y.staleness, y.corrupted
+        ):
+            return False
+        if x.latency_s != y.latency_s and not (
+            math.isnan(x.latency_s) and math.isnan(y.latency_s)
+        ):
+            return False
+    counters = (
+        "sensor_energy_j",
+        "aggregator_energy_j",
+        "retry_energy_j",
+        "retransmissions",
+        "fallback_events",
+        "deadline_misses",
+        "frames_sent",
+        "frames_corrupted",
+        "corruptions_detected",
+        "corrupted_deliveries",
+        "integrity_discards",
+    )
+    return all(getattr(a, name) == getattr(b, name) for name in counters)
 
 
 @dataclass(frozen=True)
@@ -530,6 +666,16 @@ class FaultCampaign:
 
     # -- the runner ---------------------------------------------------------------
 
+    def supports_fast(self) -> bool:
+        """Whether every fault model has an exact vectorized fast path.
+
+        The fast path pre-samples each model's random stream in blocks,
+        which is only provably bit-identical for the fault models this
+        module ships.  Subclassed or third-party models fall back to the
+        scalar runner.
+        """
+        return all(type(fault) in _FAST_PATH_TYPES for fault in self.faults)
+
     def run(
         self,
         simulator: CrossEndSimulator,
@@ -539,6 +685,7 @@ class FaultCampaign:
         fallback_metrics: Optional[PartitionMetrics] = None,
         cache: Optional[LastKnownGoodCache] = None,
         integrity: Optional[IntegrityConfig] = None,
+        fast: Optional[bool] = None,
     ) -> ResilienceReport:
         """Stream ``n_events`` through the system with faults injected.
 
@@ -568,6 +715,13 @@ class FaultCampaign:
                 populated.  Payload *content* is drawn deterministically
                 from the campaign seed, so runs stay bit-for-bit
                 reproducible.
+            fast: Runner selection.  ``None`` (default) picks the
+                vectorized fast path when :meth:`supports_fast` allows it;
+                ``False`` forces the scalar reference runner; ``True``
+                requires the fast path and raises
+                :class:`~repro.errors.ConfigurationError` when a fault
+                model lacks one.  Both runners produce bit-identical
+                reports under the same seed.
 
         Returns:
             The :class:`ResilienceReport`; bit-for-bit identical across
@@ -580,7 +734,29 @@ class FaultCampaign:
                 "a degradation policy requires fallback_metrics"
             )
         arq = UNBOUNDED_ARQ if arq is None else arq
+        use_fast = self.supports_fast() if fast is None else bool(fast)
+        if use_fast and not self.supports_fast():
+            raise ConfigurationError(
+                "fast=True needs fault models with an exact fast path "
+                "(LinkOutage, BurstLoss, PayloadCorruption, SensorBrownout, "
+                "AggregatorStall); pass fast=None or fast=False"
+            )
+        runner = self._run_fast if use_fast else self._run_scalar
+        return runner(
+            simulator, n_events, arq, policy, fallback_metrics, cache, integrity
+        )
 
+    def _run_scalar(
+        self,
+        simulator: CrossEndSimulator,
+        n_events: int,
+        arq: ARQConfig,
+        policy: Optional[GracefulDegradationPolicy],
+        fallback_metrics: Optional[PartitionMetrics],
+        cache: Optional[LastKnownGoodCache],
+        integrity: Optional[IntegrityConfig],
+    ) -> ResilienceReport:
+        """Reference event-by-event runner (see :meth:`run`)."""
         self.reset()
         if policy is not None:
             policy.reset()
@@ -801,6 +977,366 @@ class FaultCampaign:
             return False
 
         return attempt_fn
+
+    def _run_fast(
+        self,
+        simulator: CrossEndSimulator,
+        n_events: int,
+        arq: ARQConfig,
+        policy: Optional[GracefulDegradationPolicy],
+        fallback_metrics: Optional[PartitionMetrics],
+        cache: Optional[LastKnownGoodCache],
+        integrity: Optional[IntegrityConfig],
+    ) -> ResilienceReport:
+        """Vectorized runner; bit-identical to :meth:`_run_scalar`.
+
+        Loss outcomes are pre-drawn in blocks (one stream per stochastic
+        fault, OR-composed, served by a cursor that advances exactly one
+        slot per transmission attempt — the scalar consumption order),
+        jitter factors and payload words are drawn as matrices, and
+        byte-level payloads go through the batch frame codec.  Only the
+        bit-flip corruption draws stay per-frame: their stream interleaves
+        fixed- and variable-length draws, so block sampling cannot match
+        the scalar order; the fast path instead skips the frame decode of
+        every untouched frame (an encode/decode round trip it already
+        knows succeeds).
+        """
+        self.reset()
+        if policy is not None:
+            policy.reset()
+        if cache is not None:
+            cache.reset()
+
+        period = simulator.period_s
+        sigma = simulator.jitter_sigma
+        idx = np.arange(n_events)
+
+        brownout = np.zeros(n_events, dtype=bool)
+        outage = np.zeros(n_events, dtype=bool)
+        stall = np.zeros(n_events, dtype=np.float64)
+        loss_draws: List[Callable[[int], np.ndarray]] = []
+        corruptors: List[PayloadCorruption] = []
+        for fault in self.faults:
+            window = None
+            if isinstance(fault, (SensorBrownout, LinkOutage, AggregatorStall)):
+                window = (fault.start_event <= idx) & (
+                    idx < fault.start_event + fault.n_events
+                )
+            if isinstance(fault, SensorBrownout):
+                brownout |= window
+            elif isinstance(fault, LinkOutage):
+                outage |= window
+            elif isinstance(fault, AggregatorStall):
+                stall += np.where(window, fault.extra_delay_s, 0.0)
+            elif isinstance(fault, BurstLoss):
+                channel = fault._channel
+                assert channel is not None  # armed by reset() above
+                loss_draws.append(channel.outcome_block)
+            elif isinstance(fault, PayloadCorruption):
+                if fault.mode == "erasure":
+                    loss_draws.append(
+                        lambda n, rng=fault._require_rng(), rate=fault.rate: (
+                            rng.random(n) < rate
+                        )
+                    )
+                else:
+                    corruptors.append(fault)
+        loss = _LossStream(loss_draws)
+
+        n_active = int(n_events - brownout.sum())
+        factors = None
+        if sigma > 0:
+            jitter_rng = np.random.default_rng(simulator.seed)
+            factors = np.exp(
+                jitter_rng.normal(-sigma**2 / 2.0, sigma, size=(n_active, 3))
+            )
+
+        # Byte-level data plane: payload words and frames for the whole
+        # run in one batch.  Without bit-flip corruptors the frame bytes
+        # can never differ from what was sent, so only the frame *count*
+        # is observable and the codec work is skipped entirely.
+        payload_rng = np.random.default_rng([self.seed, 0xF7A3])
+        n_frames_per_event = 0
+        sent_payloads: List[bytes] = []
+        chunk_bytes: List[bytes] = []
+        frame_bytes: List[bytes] = []
+        if integrity is not None:
+            framing = integrity.framing
+            payload_len = integrity.values_per_payload * (Q16_16.total_bits // 8)
+            n_frames_per_event = -(-payload_len // framing.max_payload_bytes)
+            if corruptors and n_active:
+                values = quantize_array(
+                    payload_rng.uniform(
+                        -1000.0, 1000.0,
+                        (n_active, integrity.values_per_payload),
+                    )
+                )
+                blob = encode_values(values)
+                sent_payloads = [
+                    blob[a * payload_len : (a + 1) * payload_len]
+                    for a in range(n_active)
+                ]
+                for payload in sent_payloads:
+                    chunk_bytes.extend(
+                        payload[i : i + framing.max_payload_bytes]
+                        for i in range(0, payload_len, framing.max_payload_bytes)
+                    )
+                total_frames = n_active * n_frames_per_event
+                frame_matrix, frame_lens = encode_frames(
+                    chunk_bytes,
+                    np.arange(total_frames) % SEQ_MODULUS,
+                    framing,
+                    last=(np.arange(total_frames) % n_frames_per_event)
+                    == n_frames_per_event - 1,
+                )
+                frame_bytes = [
+                    frame_matrix[r, : int(frame_lens[r])].tobytes()
+                    for r in range(total_frames)
+                ]
+
+        bounded_tries = None if arq.max_retries is None else arq.max_retries + 1
+        backoffs = (
+            None
+            if arq.max_retries is None
+            else [0.0] + [arq.backoff_s(r) for r in range(1, arq.max_retries + 1)]
+        )
+
+        front_free = link_free = back_free = 0.0
+        records: List[DecisionRecord] = []
+        sensor_j = aggregator_j = retry_j = 0.0
+        retransmissions = 0
+        fallback_events = 0
+        misses = 0
+        wire = {
+            "frames_sent": 0,
+            "frames_corrupted": 0,
+            "corruptions_detected": 0,
+            "corrupted_deliveries": 0,
+            "integrity_discards": 0,
+        }
+
+        att = 0  # global attempt cursor into the loss streams
+        a = 0  # active (non-browned-out) event counter
+        for k in range(n_events):
+            release = k * period
+            in_fallback = policy is not None and policy.in_fallback
+            if in_fallback:
+                fallback_events += 1
+            active = (
+                fallback_metrics
+                if (in_fallback and fallback_metrics is not None)
+                else simulator.metrics
+            )
+
+            if brownout[k]:
+                served = cache.serve() if cache is not None else None
+                if served is not None:
+                    records.append(
+                        DecisionRecord(k, DEGRADED, 0, 0.0, in_fallback,
+                                       served.staleness)
+                    )
+                else:
+                    records.append(
+                        DecisionRecord(k, DROPPED, 0, math.nan, in_fallback, 0)
+                    )
+                continue
+
+            if factors is not None:
+                row = factors[a]
+                t_front = active.delay_front_s * row[0]
+                t_link = active.delay_link_s * row[1]
+                t_back = active.delay_back_s * row[2]
+            else:
+                t_front = active.delay_front_s
+                t_link = active.delay_link_s
+                t_back = active.delay_back_s
+
+            front_start = max(release, front_free)
+            front_end = front_start + t_front
+            front_free = front_end
+            sensor_j += active.sensor_compute_j
+
+            if integrity is not None and corruptors:
+                base_row = a * n_frames_per_event
+                ev_frames = frame_bytes[base_row : base_row + n_frames_per_event]
+                ev_chunks = chunk_bytes[base_row : base_row + n_frames_per_event]
+                sent_payload = sent_payloads[a]
+            else:
+                ev_frames = ev_chunks = []
+                sent_payload = None
+
+            event_out = bool(outage[k])
+            if bounded_tries is not None:
+                loss.ensure(att + bounded_tries)
+            tries = 0
+            delay = 0.0
+            delivered = False
+            discarded = False
+            received: Optional[bytes] = None
+            while True:
+                tries += 1
+                delay = delay + t_link
+                if integrity is not None:
+                    wire["frames_sent"] += n_frames_per_event
+                if att >= loss.buf.size:
+                    loss.ensure(att + 1)
+                lost = event_out or bool(loss.buf[att])
+                att += 1
+                if not lost and ev_frames:
+                    mutated = detected = 0
+                    parts: List[bytes] = []
+                    for j, raw in enumerate(ev_frames):
+                        on_air = raw
+                        for corruptor in corruptors:
+                            on_air = corruptor.corrupt_frame(k, tries, j, on_air)
+                        if on_air == raw:
+                            parts.append(ev_chunks[j])
+                            continue
+                        mutated += 1
+                        try:
+                            parts.append(
+                                decode_frame(on_air, integrity.framing).payload
+                            )
+                        except IntegrityError:
+                            detected += 1
+                    wire["frames_corrupted"] += mutated
+                    wire["corruptions_detected"] += detected
+                    if detected:
+                        if integrity.retransmit_on_corrupt:
+                            lost = True
+                        else:
+                            discarded = True
+                            received = None
+                    else:
+                        discarded = False
+                        received = b"".join(parts)
+                if not lost:
+                    delivered = True
+                    break
+                if bounded_tries is not None and tries >= bounded_tries:
+                    break
+                if tries >= DEFAULT_MAX_SIMULATED_TRIES:
+                    raise SimulationError(
+                        f"unbounded ARQ exceeded {DEFAULT_MAX_SIMULATED_TRIES} "
+                        "tries on one payload: the channel never recovered "
+                        "(retry storm); use a bounded ARQConfig to keep "
+                        "per-payload delay finite"
+                    )
+                if backoffs is not None:
+                    delay = delay + backoffs[tries]
+
+            link_start = max(front_end, link_free)
+            link_end = link_start + delay
+            link_free = link_end
+
+            per_try_radio = active.sensor_tx_j + active.sensor_rx_j
+            sensor_j += tries * per_try_radio
+            aggregator_j += tries * active.aggregator_radio_j
+            retransmissions += tries - 1
+            retry_j += (tries - 1) * (
+                per_try_radio + active.aggregator_radio_j
+            )
+
+            app_delivered = delivered
+            if app_delivered and discarded:
+                wire["integrity_discards"] += 1
+                app_delivered = False
+
+            if app_delivered:
+                corrupted = bool(ev_frames) and received != sent_payload
+                if corrupted:
+                    wire["corrupted_deliveries"] += 1
+                if policy is not None:
+                    policy.observe(True)
+                if cache is not None:
+                    cache.update(k)
+                back_start = max(link_end, back_free)
+                finish = back_start + t_back + stall[k]
+                back_free = finish
+                aggregator_j += active.aggregator_cpu_j
+                latency = finish - release
+                records.append(
+                    DecisionRecord(k, DELIVERED, tries, latency,
+                                   in_fallback, 0, corrupted)
+                )
+            else:
+                if policy is not None:
+                    policy.observe(False)
+                served = cache.serve() if cache is not None else None
+                if served is not None:
+                    latency = link_end - release
+                    records.append(
+                        DecisionRecord(k, DEGRADED, tries, latency,
+                                       in_fallback, served.staleness)
+                    )
+                else:
+                    latency = math.nan
+                    records.append(
+                        DecisionRecord(k, DROPPED, tries, math.nan,
+                                       in_fallback, 0)
+                    )
+
+            if not math.isnan(latency):
+                if latency > period:
+                    misses += 1
+                if latency > 1000 * period:
+                    raise SimulationError(
+                        f"event backlog diverges under faults at event {k}: "
+                        f"latency {latency:.4f}s >> period {period:.4f}s"
+                    )
+            a += 1
+
+        return ResilienceReport(
+            records=records,
+            sensor_energy_j=sensor_j,
+            aggregator_energy_j=aggregator_j,
+            retry_energy_j=retry_j,
+            retransmissions=retransmissions,
+            fallback_events=fallback_events,
+            deadline_misses=misses,
+            frames_sent=wire["frames_sent"],
+            frames_corrupted=wire["frames_corrupted"],
+            corruptions_detected=wire["corruptions_detected"],
+            corrupted_deliveries=wire["corrupted_deliveries"],
+            integrity_discards=wire["integrity_discards"],
+        )
+
+
+#: Fault model types the campaign fast path can pre-sample exactly.
+_FAST_PATH_TYPES = (
+    LinkOutage,
+    BurstLoss,
+    PayloadCorruption,
+    SensorBrownout,
+    AggregatorStall,
+)
+
+
+class _LossStream:
+    """OR-composed per-attempt loss outcomes, pre-drawn in blocks.
+
+    Each stochastic fault contributes one draw callable; every slot of
+    the composed buffer consumes exactly one outcome from each, which is
+    the scalar campaign's consumption order (:meth:`FaultCampaign.
+    try_lost` consults every fault per attempt, no short-circuit).
+    """
+
+    __slots__ = ("_draws", "buf")
+
+    _GROW = 4096
+
+    def __init__(self, draws: Sequence[Callable[[int], np.ndarray]]) -> None:
+        self._draws = list(draws)
+        self.buf = np.zeros(0, dtype=bool)
+
+    def ensure(self, upto: int) -> None:
+        """Extend the buffer to at least ``upto`` composed outcomes."""
+        while self.buf.size < upto:
+            grow = max(upto - self.buf.size, self._GROW)
+            chunk = np.zeros(grow, dtype=bool)
+            for draw in self._draws:
+                chunk |= draw(grow)
+            self.buf = np.concatenate([self.buf, chunk])
 
 
 def _jittered(

@@ -150,6 +150,45 @@ class TestStreamingMoments:
         assert out["var"] == pytest.approx(0.0, abs=1e-9)
         assert out["skew"] == 0.0 and out["kurt"] == 0.0
 
+    @given(SEGMENTS, st.integers(0, 99))
+    @settings(max_examples=60)
+    def test_ndarray_extend_bit_identical_to_loop(self, seg, cut_raw):
+        """The vectorized extend path must match per-sample updates
+        bit-for-bit, including on a pre-warmed accumulator."""
+        cut = cut_raw % (len(seg) + 1)
+        loop = StreamingMoments()
+        for x in seg:
+            loop.update(x)
+        fast = StreamingMoments()
+        fast.extend(seg[:cut])
+        fast.extend(seg[cut:])
+        assert fast.count == loop.count
+        assert fast.finalize() == loop.finalize()
+
+    def test_int_array_and_empty_extend(self):
+        fast = StreamingMoments()
+        fast.extend(np.array([], dtype=np.float64))
+        assert fast.count == 0
+        fast.extend(np.arange(-3, 4))  # int dtype takes the fast path too
+        loop = StreamingMoments()
+        for x in range(-3, 4):
+            loop.update(float(x))
+        assert fast.finalize() == loop.finalize()
+
+    def test_non_finite_array_raises_with_loop_state(self):
+        """A non-finite burst falls back to the loop: partial state up to
+        the poisoned sample is kept and the same error is raised."""
+        burst = np.array([1.0, 2.0, float("nan"), 4.0])
+        fast = StreamingMoments()
+        with pytest.raises(ConfigurationError):
+            fast.extend(burst)
+        loop = StreamingMoments()
+        with pytest.raises(ConfigurationError):
+            for x in burst:
+                loop.update(x)
+        assert fast.count == loop.count == 2
+        assert fast.finalize() == loop.finalize()
+
 
 class TestCrossingCounter:
     @given(SEGMENTS, st.floats(min_value=-5, max_value=5, allow_nan=False))
@@ -164,3 +203,30 @@ class TestCrossingCounter:
         for x in [1.0, -1.0, 1.0]:
             counter.update(x)
         assert counter.crossings == 2
+
+    @given(SEGMENTS, st.integers(0, 99))
+    @settings(max_examples=60)
+    def test_ndarray_extend_matches_loop(self, seg, cut_raw):
+        cut = cut_raw % (len(seg) + 1)
+        loop = CrossingCounter(0.5)
+        for x in seg:
+            loop.update(x)
+        fast = CrossingCounter(0.5)
+        fast.extend(seg[:cut])
+        fast.extend(seg[cut:])
+        assert fast.crossings == loop.crossings
+        assert fast._last_sign == loop._last_sign
+
+    def test_on_level_ties_inherit_sign(self):
+        """Samples exactly on the level inherit the previous sign — in the
+        vectorized path via forward-fill, including leading ties at stream
+        start and a tie carried across extend() calls."""
+        seq = np.array([0.0, 0.0, 1.0, 0.0, -1.0, 0.0, 0.0, 1.0])
+        loop = CrossingCounter(0.0)
+        for x in seq:
+            loop.update(x)
+        fast = CrossingCounter(0.0)
+        fast.extend(seq[:4])
+        fast.extend(seq[4:])
+        assert fast.crossings == loop.crossings == 2
+        assert fast._last_sign == loop._last_sign

@@ -1,0 +1,468 @@
+"""Equivalence tests for the vectorized wire data plane.
+
+Every batch path here has a scalar reference implementation that the
+rest of the repo trusts; these tests pin the batch twins to those
+references bit-for-bit — byte-identical frames, identical CRCs,
+identical error messages, and campaign reports that replay exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.fixedpoint import FixedPointFormat, Q16_16
+from repro.errors import ConfigurationError, IntegrityError, SimulationError
+from repro.hw.arq import ARQConfig
+from repro.hw.framing import (
+    FramingConfig,
+    batch_crc16_ccitt,
+    crc16_ccitt,
+    decode_frame,
+    decode_frames,
+    decode_values,
+    decode_values_scalar,
+    encode_frame,
+    encode_frames,
+    encode_values,
+    encode_values_scalar,
+    fragment_payload,
+    pack_byte_rows,
+    quantize_raw,
+    unpack_byte_rows,
+)
+from repro.hw.wireless import WirelessLink
+from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams
+from repro.sim.evaluate import PartitionMetrics
+from repro.sim.faults import (
+    AggregatorStall,
+    BurstLoss,
+    FaultCampaign,
+    FaultModel,
+    IntegrityConfig,
+    LinkOutage,
+    PayloadCorruption,
+    SensorBrownout,
+    reports_identical,
+)
+from repro.sim.simulator import CrossEndSimulator
+
+CFG = FramingConfig()
+NO_CRC = FramingConfig(crc=False)
+
+#: Byte-aligned formats spanning the int64 fast path and the odd-width
+#: byte-shift reconstruction (3-byte words).
+FORMATS = [Q16_16, FixedPointFormat(8, 8), FixedPointFormat(16, 8)]
+
+PAYLOADS = st.lists(st.binary(max_size=80), max_size=12)
+
+
+def synthetic_metrics() -> PartitionMetrics:
+    """A tiny hand-built partition for campaign fast-path tests."""
+    return PartitionMetrics(
+        in_sensor=frozenset(),
+        sensor_compute_j=1e-6,
+        sensor_tx_j=1e-6,
+        sensor_rx_j=1e-7,
+        delay_front_s=1e-3,
+        delay_link_s=2e-3,
+        delay_back_s=1e-3,
+        aggregator_cpu_j=1e-6,
+        aggregator_radio_j=1e-6,
+        crossing_bits_up=256,
+        crossing_bits_down=0,
+    )
+
+
+class TestBatchCRC:
+    @given(PAYLOADS)
+    @settings(max_examples=60)
+    def test_matches_scalar_per_row(self, rows):
+        batch = batch_crc16_ccitt(rows)
+        assert batch.dtype == np.uint16
+        assert batch.tolist() == [crc16_ccitt(row) for row in rows]
+
+    def test_matrix_with_lengths(self):
+        rows = [b"", b"\x00", b"123456789", b"\xff" * 20]
+        matrix, lengths = pack_byte_rows(rows)
+        # Poison the padding: the CRC must only read the stated lengths.
+        matrix[:, :] |= 0
+        padded = matrix.copy()
+        for i, row in enumerate(rows):
+            padded[i, len(row):] = 0xAA
+        assert batch_crc16_ccitt(padded, lengths=lengths).tolist() == [
+            crc16_ccitt(row) for row in rows
+        ]
+        assert unpack_byte_rows(matrix, lengths) == rows
+
+    def test_custom_init(self):
+        rows = [b"abc", b"xyzzy"]
+        assert batch_crc16_ccitt(rows, init=0x1D0F).tolist() == [
+            crc16_ccitt(row, init=0x1D0F) for row in rows
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_crc16_ccitt(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            batch_crc16_ccitt(
+                np.zeros((2, 4), dtype=np.uint8), lengths=np.array([1])
+            )
+        with pytest.raises(ConfigurationError):
+            batch_crc16_ccitt(
+                np.zeros((2, 4), dtype=np.uint8), lengths=np.array([1, 5])
+            )
+
+
+class TestBatchValueCodec:
+    @given(
+        st.lists(
+            st.floats(min_value=-40000, max_value=40000, allow_nan=False),
+            max_size=32,
+        )
+    )
+    @settings(max_examples=60)
+    def test_encode_decode_match_scalar(self, values):
+        for fmt in FORMATS:
+            blob = encode_values(values, fmt)
+            assert blob == encode_values_scalar(values, fmt)
+            fast = decode_values(blob, fmt)
+            ref = decode_values_scalar(blob, fmt)
+            assert np.array_equal(fast, ref)
+
+    def test_empty_payload(self):
+        assert encode_values([]) == b""
+        assert decode_values(b"").tolist() == []
+
+    def test_saturation_boundaries(self):
+        for fmt in FORMATS:
+            extremes = [
+                fmt.max_raw / fmt.scale,
+                fmt.min_raw / fmt.scale,
+                1e12,
+                -1e12,
+            ]
+            blob = encode_values(extremes, fmt)
+            assert blob == encode_values_scalar(extremes, fmt)
+            assert np.array_equal(
+                decode_values(blob, fmt), decode_values_scalar(blob, fmt)
+            )
+
+    def test_quantize_raw_matches_from_float(self):
+        values = np.array([0.0, 0.5 / Q16_16.scale, -0.5 / Q16_16.scale,
+                           1.25, -7.75, 40000.0, -40000.0])
+        raw = quantize_raw(values, Q16_16)
+        assert raw.tolist() == [Q16_16.from_float(float(v)) for v in values]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_values([1.0, float("nan")])
+
+    def test_partial_word_rejected(self):
+        with pytest.raises(IntegrityError):
+            decode_values(b"\x00\x01\x02")
+        with pytest.raises(IntegrityError):
+            decode_values_scalar(b"\x00\x01\x02")
+
+
+class TestBatchFrameCodec:
+    @given(PAYLOADS, st.integers(0, 2**17))
+    @settings(max_examples=60)
+    def test_encode_rows_byte_identical(self, payloads, seq_start):
+        payloads = [p[: CFG.max_payload_bytes] for p in payloads]
+        for config in (CFG, NO_CRC):
+            seqs = np.arange(seq_start, seq_start + len(payloads))
+            last = np.arange(len(payloads)) % 2 == 0
+            matrix, lengths = encode_frames(payloads, seqs, config, last=last)
+            for i, payload in enumerate(payloads):
+                ref = encode_frame(
+                    payload, int(seqs[i]) % (1 << 16), config,
+                    last=bool(last[i]),
+                )
+                assert matrix[i, : int(lengths[i])].tobytes() == ref
+
+    def test_max_length_frame(self):
+        config = FramingConfig(max_payload_bytes=16, crc=True)
+        payload = bytes(range(16))
+        matrix, lengths = encode_frames([payload], [7], config)
+        assert matrix[0, : int(lengths[0])].tobytes() == encode_frame(
+            payload, 7, config
+        )
+        batch = decode_frames(matrix, config, lengths)
+        assert batch.ok.all() and batch.payloads[0] == payload
+
+    def test_roundtrip_fields_match_scalar(self):
+        payloads = [b"", b"abc", b"\x00" * 10, bytes(range(64))]
+        matrix, lengths = encode_frames(
+            payloads, np.arange(4), CFG, last=[False, True, False, True]
+        )
+        batch = decode_frames(matrix, CFG, lengths)
+        assert len(batch) == 4
+        for i in range(4):
+            frame = decode_frame(matrix[i, : int(lengths[i])].tobytes(), CFG)
+            assert batch.frame(i) == frame
+
+    def test_accepts_byte_sequences(self):
+        frames = fragment_payload(bytes(range(200)), 5, CFG)
+        batch = decode_frames(frames, CFG)
+        assert batch.ok.all()
+        assert b"".join(batch.payloads) == bytes(range(200))
+        assert batch.last.tolist() == [False, False, False, True]
+        assert batch.seq.tolist() == [5, 6, 7, 8]
+
+    def test_error_messages_match_scalar(self):
+        good = encode_frame(b"payload", 3, CFG)
+        corrupted = bytearray(good)
+        corrupted[5] ^= 0x40  # payload bit -> CRC mismatch
+        bad_version = bytearray(good)
+        bad_version[0] ^= 0x20  # version nibble
+        frames = [
+            good,
+            b"\x01\x02",  # shorter than a header
+            bytes(bad_version),
+            encode_frame(b"x", 0, NO_CRC),  # CRC flag mismatch
+            good + b"extra",  # length mismatch
+            bytes(corrupted),
+            b"",  # empty frame
+        ]
+        batch = decode_frames(frames, CFG)
+        assert batch.ok.tolist() == [
+            True, False, False, False, False, False, False,
+        ]
+        for i, raw in enumerate(frames):
+            if batch.ok[i]:
+                continue
+            with pytest.raises(IntegrityError) as scalar_exc:
+                decode_frame(bytes(raw), CFG)
+            assert batch.errors[i] == str(scalar_exc.value)
+            with pytest.raises(IntegrityError) as batch_exc:
+                batch.frame(i)
+            assert str(batch_exc.value) == str(scalar_exc.value)
+
+    def test_oversized_payload_rejected(self):
+        config = FramingConfig(max_payload_bytes=8)
+        with pytest.raises(ConfigurationError):
+            encode_frames([b"123456789"], [0], config)
+
+    def test_empty_batch(self):
+        matrix, lengths = encode_frames([], np.zeros(0, dtype=int), CFG)
+        assert matrix.shape[0] == 0
+        assert len(decode_frames(matrix, CFG, lengths)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            encode_frames([b"a", b"b"], [1], CFG)
+        with pytest.raises(ConfigurationError):
+            decode_frames(np.zeros(3, dtype=np.uint8), CFG)
+        with pytest.raises(ConfigurationError):
+            decode_frames(
+                np.zeros((2, 8), dtype=np.uint8), CFG, lengths=np.array([9, 0])
+            )
+
+
+class TestCorruptFramesBatch:
+    def _twins(self, seed):
+        scalar = PayloadCorruption(0.5, mode="bitflip", max_bit_flips=6)
+        batch = PayloadCorruption(0.5, mode="bitflip", max_bit_flips=6)
+        scalar.reset(np.random.default_rng(seed))
+        batch.reset(np.random.default_rng(seed))
+        return scalar, batch
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_matches_scalar_per_frame(self, seed):
+        scalar, batch = self._twins(seed)
+        frames = [b"", b"a", b"hello world", bytes(range(40)), b"", b"zz"]
+        matrix, lengths, corrupted = batch.corrupt_frames(0, 1, frames)
+        out = unpack_byte_rows(matrix, lengths)
+        for i, frame in enumerate(frames):
+            ref = scalar.corrupt_frame(0, 1, i, frame)
+            assert out[i] == ref
+            assert bool(corrupted[i]) == (ref != frame)
+
+    def test_matrix_input_and_erasure_noop(self):
+        scalar, batch = self._twins(77)
+        frames = [bytes(range(30)), b"abcdef"]
+        matrix, lengths = pack_byte_rows(frames)
+        mut, lens, corrupted = batch.corrupt_frames(3, 2, matrix, lengths)
+        out = unpack_byte_rows(mut, lens)
+        assert out == [scalar.corrupt_frame(3, 2, i, f)
+                       for i, f in enumerate(frames)]
+        erasure = PayloadCorruption(1.0, mode="erasure")
+        erasure.reset(np.random.default_rng(0))
+        mut2, _, corrupted2 = erasure.corrupt_frames(0, 1, frames)
+        assert unpack_byte_rows(mut2, lens) == frames
+        assert not corrupted2.any()
+
+    def test_input_matrix_not_mutated(self):
+        _, batch = self._twins(5)
+        matrix, lengths = pack_byte_rows([bytes(range(64))])
+        before = matrix.copy()
+        batch.corrupt_frames(0, 1, matrix, lengths)
+        assert np.array_equal(matrix, before)
+
+
+class TestOutcomeBlock:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            GilbertElliottParams(0.02, 0.10, 0.01, 0.6),
+            GilbertElliottParams(0.5, 0.5, 0.3, 0.7),
+            GilbertElliottParams(1.0, 1.0, 0.0, 0.9),
+        ],
+    )
+    def test_matches_scalar_stream(self, params):
+        block = GilbertElliottChannel(params, seed=42)
+        step = GilbertElliottChannel(params, seed=42)
+        fast = block.outcome_block(500)
+        slow = [step.next_outcome() for _ in range(500)]
+        assert fast.tolist() == slow
+        assert block.in_bad_state == step.in_bad_state
+        # The generators stay aligned: the next draws agree too.
+        assert block.outcome_block(100).tolist() == [
+            step.next_outcome() for _ in range(100)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottChannel().outcome_block(0)
+
+
+class StallOnly(FaultModel):
+    """A fault type outside the fast path's supported set."""
+
+    def stall_s(self, event_index: int) -> float:
+        return 1e-4 if event_index % 7 == 0 else 0.0
+
+
+def resilience_mix(n_events, seed=11):
+    return FaultCampaign(
+        [
+            BurstLoss(GilbertElliottParams(0.02, 0.10, 0.01, 0.6)),
+            PayloadCorruption(0.01),
+            LinkOutage(start_event=n_events // 4, n_events=n_events // 10),
+            SensorBrownout(start_event=n_events // 2, n_events=5),
+            AggregatorStall(
+                start_event=(n_events * 3) // 4, n_events=10,
+                extra_delay_s=2e-3,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+class TestCampaignFastPath:
+    def setup_method(self):
+        self.metrics = synthetic_metrics()
+        self.arq = ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0)
+
+    def simulator(self, seed=3):
+        return CrossEndSimulator(self.metrics, period_s=0.25, seed=seed)
+
+    def test_supports_fast(self):
+        assert resilience_mix(400).supports_fast()
+        assert not FaultCampaign([StallOnly()]).supports_fast()
+
+    def test_fast_true_demands_support(self):
+        campaign = FaultCampaign([StallOnly()])
+        with pytest.raises(ConfigurationError):
+            campaign.run(self.simulator(), 50, arq=self.arq, fast=True)
+        # Auto mode silently takes the scalar runner instead.
+        report = campaign.run(self.simulator(), 50, arq=self.arq)
+        assert report.n_events == 50
+
+    def test_resilience_mix_identical(self):
+        campaign = resilience_mix(400)
+        slow = campaign.run(self.simulator(), 400, arq=self.arq, fast=False)
+        fast = campaign.run(self.simulator(), 400, arq=self.arq, fast=True)
+        assert reports_identical(slow, fast)
+
+    def test_unbounded_divergence_message_identical(self):
+        campaign = resilience_mix(400)
+        with pytest.raises(SimulationError) as slow:
+            campaign.run(self.simulator(), 400, arq=None, fast=False)
+        with pytest.raises(SimulationError) as fast:
+            campaign.run(self.simulator(), 400, arq=None, fast=True)
+        assert str(slow.value) == str(fast.value)
+
+    @pytest.mark.parametrize("crc,retransmit", [
+        (False, False), (True, False), (True, True),
+    ])
+    def test_integrity_wire_formats_identical(self, crc, retransmit):
+        campaign = FaultCampaign(
+            [
+                BurstLoss(GilbertElliottParams(0.01, 0.20, 0.005, 0.5)),
+                PayloadCorruption(0.08, mode="bitflip"),
+            ],
+            seed=13,
+        )
+        integrity = IntegrityConfig(
+            framing=FramingConfig(crc=crc),
+            retransmit_on_corrupt=retransmit,
+            values_per_payload=8,
+        )
+        slow = campaign.run(
+            self.simulator(), 300, arq=self.arq, integrity=integrity,
+            fast=False,
+        )
+        fast = campaign.run(
+            self.simulator(), 300, arq=self.arq, integrity=integrity,
+            fast=True,
+        )
+        assert reports_identical(slow, fast)
+        assert slow.frames_sent > 0
+
+    def test_erasure_integrity_mix_identical(self):
+        campaign = FaultCampaign(
+            [
+                PayloadCorruption(0.05, mode="erasure"),
+                BurstLoss(GilbertElliottParams(0.02, 0.10, 0.01, 0.6)),
+            ],
+            seed=29,
+        )
+        integrity = IntegrityConfig(values_per_payload=4)
+        slow = campaign.run(
+            self.simulator(), 300, arq=self.arq, integrity=integrity,
+            fast=False,
+        )
+        fast = campaign.run(
+            self.simulator(), 300, arq=self.arq, integrity=integrity,
+            fast=True,
+        )
+        assert reports_identical(slow, fast)
+
+    def test_reports_identical_is_nan_aware(self):
+        campaign = resilience_mix(200, seed=5)
+        a = campaign.run(self.simulator(), 200, arq=self.arq, fast=False)
+        b = campaign.run(self.simulator(), 200, arq=self.arq, fast=True)
+        assert any(
+            r.latency_s != r.latency_s for r in a.records
+        ), "expected dropped events with NaN latency in this mix"
+        assert reports_identical(a, b)
+        other = resilience_mix(200, seed=6)
+        c = other.run(self.simulator(), 200, arq=self.arq)
+        assert not reports_identical(a, c)
+
+
+class TestPayloadBitsBatch:
+    @pytest.mark.parametrize("framing", [
+        None,
+        FramingConfig(crc=True),
+        FramingConfig(max_payload_bytes=16, crc=False),
+    ])
+    def test_matches_scalar(self, framing):
+        link = WirelessLink("model2", framing=framing)
+        sizes = np.array([0, 1, 7, 8, 24, 100, 1000])
+        batch = link.payload_bits_batch(sizes, 32)
+        assert batch.tolist() == [
+            link.payload_bits(int(n), 32) for n in sizes
+        ]
+
+    def test_validation(self):
+        link = WirelessLink("model2")
+        with pytest.raises(ConfigurationError):
+            link.payload_bits_batch(np.array([[1, 2]]), 32)
+        with pytest.raises(ConfigurationError):
+            link.payload_bits_batch(np.array([-1]), 32)
+        with pytest.raises(ConfigurationError):
+            link.payload_bits_batch(np.array([1]), 0)
