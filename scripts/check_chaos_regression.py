@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Nightly chaos-regression gate: fresh worst case vs the committed baseline.
+
+Usage::
+
+    python scripts/check_chaos_regression.py FRESH BASELINE [--threshold 0.15]
+
+Exits 0 when the freshly searched worst case stays within the allowed
+fraction of the committed baseline on every Pareto axis (and the fast and
+scalar runners agreed bit-for-bit on the worst replay bundle), 1 otherwise
+(printing one line per failure).  See docs/CHAOS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.chaos import (
+    DEFAULT_CHAOS_THRESHOLD,
+    compare_chaos_summaries,
+    load_chaos_summary,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly searched BENCH_chaos.json")
+    parser.add_argument("baseline", help="committed BENCH_chaos_baseline.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_CHAOS_THRESHOLD,
+        help="allowed fractional worsening per axis (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_chaos_summary(args.fresh)
+    baseline = load_chaos_summary(args.baseline)
+    failures = compare_chaos_summaries(fresh, baseline, threshold=args.threshold)
+    if failures:
+        print("chaos regression gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    axes = ", ".join(
+        f"{axis}={value:.4f}" for axis, value in fresh.get("axes_max", {}).items()
+    )
+    print(f"chaos regression gate OK ({axes})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

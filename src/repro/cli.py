@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro headline --segments 240 --draws 40
     python -m repro resilience --case C1 --events 2000
     python -m repro integrity --case C1 --events 2000
+    python -m repro chaos --events 600 --bundle-dir bundles/
+    python -m repro chaos --replay bundles/chaos-<id>.json
     python -m repro perf --fast --baseline benchmarks/results/BENCH_perf.json
 
 The figure/headline commands accept ``--segments`` / ``--draws`` to trade
@@ -39,8 +41,22 @@ _FIGURES = {
 }
 
 
+class _Parser(argparse.ArgumentParser):
+    """Argument parser with one-line error reporting.
+
+    Unknown subcommands, unknown arguments and malformed option values
+    exit with code 2 and a single ``error: ...`` line on stderr — never a
+    usage dump spanning half a screen, and never a traceback.
+    """
+
+    def error(self, message: str) -> None:  # type: ignore[override]
+        """Report one parse error on stderr and exit with code 2."""
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="XPro (ISCA'17) reproduction command-line interface",
     )
@@ -176,6 +192,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None,
         help="allowed fractional regression for the gate (default: 0.25)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "adversarial search over fault-mix space (strategist/judge) "
+            "or bit-exact replay of a chaos bundle"
+        ),
+    )
+    chaos.add_argument("--case", default="C1", help="Table 1 case symbol")
+    chaos.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    chaos.add_argument(
+        "--wireless", default="model2", choices=["model1", "model2", "model3"]
+    )
+    chaos.add_argument(
+        "--events", type=int, default=600,
+        help="events per campaign run (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=11,
+        help="strategist + fixed-mix seed (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--population", type=int, default=8,
+        help="scenarios per generation (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--generations", type=int, default=4,
+        help="search generations (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "PR-CI scale: tiny training context, 160 events, 4x2 search "
+            "(overrides --events/--population/--generations/--segments/--draws)"
+        ),
+    )
+    chaos.add_argument(
+        "--bundle-dir", metavar="DIR", default=None,
+        help="write a replay bundle per Pareto-worst scenario into DIR",
+    )
+    chaos.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable chaos summary (BENCH_chaos schema)",
+    )
+    chaos.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="gate the summary against this committed worst-case baseline",
+    )
+    chaos.add_argument(
+        "--threshold", type=float, default=None,
+        help="allowed fractional worsening per axis for the gate (default: 0.15)",
+    )
+    chaos.add_argument(
+        "--scalar-wire", action="store_true",
+        help=(
+            "force the scalar event-by-event campaign runner instead of "
+            "the vectorized fast path (bit-identical, only slower)"
+        ),
+    )
+    chaos.add_argument(
+        "--replay", metavar="BUNDLE", default=None,
+        help=(
+            "replay this bundle instead of searching; asserts the report "
+            "digest matches bit-for-bit (needs no trained context)"
+        ),
+    )
+    chaos.add_argument(
+        "--runner", choices=["fast", "scalar", "both"], default="both",
+        help="campaign runner(s) used by --replay (default: %(default)s)",
+    )
+    _add_scale_args(chaos)
 
     insp = sub.add_parser(
         "inspect",
@@ -316,6 +403,92 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from repro.sim.chaos import assert_replay, load_bundle
+
+    if args.replay:
+        bundle = load_bundle(args.replay)
+        runners = {"fast": (True,), "scalar": (False,), "both": (True, False)}
+        lines = []
+        for fast in runners[args.runner]:
+            result = assert_replay(bundle, fast=fast)
+            lines.append(
+                f"bundle {result.bundle_id}: {result.runner} runner replayed "
+                f"bit-identically (report digest {result.digest[:16]}…)"
+            )
+        return "\n".join(lines)
+
+    from repro.core.pipeline import TrainingConfig
+    from repro.eval.chaos import (
+        DEFAULT_CHAOS_THRESHOLD,
+        chaos_from_context,
+        chaos_rows,
+        check_chaos_regression,
+        load_chaos_summary,
+        write_chaos_summary,
+    )
+
+    if args.smoke:
+        ctx = ExperimentContext(
+            n_segments=40, training=TrainingConfig(n_draws=8)
+        )
+        events, population, generations = 160, 4, 2
+    else:
+        ctx = _context(args)
+        events, population, generations = (
+            args.events, args.population, args.generations
+        )
+    summary = chaos_from_context(
+        ctx,
+        symbol=args.case.upper(),
+        node=args.node,
+        wireless=args.wireless,
+        n_events=events,
+        seed=args.seed,
+        population=population,
+        generations=generations,
+        bundle_dir=args.bundle_dir,
+        fast=False if args.scalar_wire else None,
+    )
+    lines = [
+        format_table(
+            chaos_rows(summary),
+            title=(
+                f"Adversarial chaos search ({args.case.upper()} at "
+                f"{args.node} / {args.wireless}, {events} events, "
+                f"{population}x{generations} search, seed {args.seed})"
+            ),
+            float_format="{:.4g}",
+        ),
+        "",
+        f"strictly worse than every fixed mix: "
+        f"{summary['strictly_worse_than_fixed']}",
+    ]
+    replay = summary.get("replay")
+    if replay is not None:
+        lines.append(
+            f"worst bundle {replay['bundle_id']} replayed bit-identically on "
+            f"fast and scalar runners: {replay['bit_identical']}"
+        )
+    if args.bundle_dir:
+        lines.append(
+            f"{len(summary['bundle_paths'])} replay bundle(s) written to "
+            f"{args.bundle_dir}"
+        )
+    if args.json:
+        target = write_chaos_summary(summary, args.json)
+        lines.append(f"chaos summary written to {target}")
+    if args.baseline:
+        baseline = load_chaos_summary(args.baseline)
+        threshold = (
+            args.threshold if args.threshold is not None
+            else DEFAULT_CHAOS_THRESHOLD
+        )
+        check_chaos_regression(summary, baseline, threshold)
+        lines.append(f"chaos regression gate OK vs {args.baseline}")
+    return "\n".join(lines)
+
+
 def _cmd_perf(args: argparse.Namespace) -> str:
     from repro.eval.perf import (
         DEFAULT_THRESHOLD,
@@ -381,6 +554,7 @@ def _cmd_inspect(args: argparse.Namespace) -> str:
 
 
 _COMMANDS = {
+    "chaos": _cmd_chaos,
     "table1": _cmd_table1,
     "figure": _cmd_figure,
     "headline": _cmd_headline,

@@ -55,3 +55,13 @@ class TrainingError(XProError):
 class PerfRegressionError(XProError):
     """A measured performance metric regressed past the allowed threshold
     relative to the committed baseline (see :mod:`repro.eval.perf`)."""
+
+
+class ReplayMismatchError(XProError):
+    """A chaos replay bundle did not reproduce its pinned report digest
+    bit-for-bit (see :mod:`repro.sim.chaos`)."""
+
+
+class ChaosRegressionError(XProError):
+    """The adversarial chaos search found a worst case materially worse
+    than the committed baseline allows (see :mod:`repro.eval.chaos`)."""

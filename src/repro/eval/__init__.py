@@ -13,8 +13,22 @@
   CRC + sequence-aware retransmission over real framed payloads).
 - :mod:`repro.eval.perf` -- scalar-vs-vectorized performance benchmarks
   and the BENCH_perf.json regression gate.
+- :mod:`repro.eval.chaos` -- the adversarial chaos stage: fixed-mix
+  baselines, worst-case search, replay-bundle emission and the nightly
+  BENCH_chaos regression gate.
 """
 
+from repro.eval.chaos import (
+    chaos_eval,
+    chaos_from_context,
+    chaos_rows,
+    chaos_run_config,
+    check_chaos_regression,
+    compare_chaos_summaries,
+    fixed_mix_scenarios,
+    load_chaos_summary,
+    write_chaos_summary,
+)
 from repro.eval.charts import bar_chart
 from repro.eval.context import ExperimentContext
 from repro.eval.codesign import codesign_rows
@@ -58,8 +72,17 @@ __all__ = [
     "PerfCase",
     "arq_model_rows",
     "bar_chart",
+    "chaos_eval",
+    "chaos_from_context",
+    "chaos_rows",
+    "chaos_run_config",
+    "check_chaos_regression",
     "check_regression",
     "codesign_rows",
+    "compare_chaos_summaries",
+    "fixed_mix_scenarios",
+    "load_chaos_summary",
+    "write_chaos_summary",
     "collect_perf_report",
     "compare_reports",
     "default_campaign",

@@ -14,9 +14,36 @@
   corruption, brownouts, stalls) and seeded fault-injection campaigns with
   bounded-retry ARQ, graceful degradation and an optional byte-level data
   plane (real frames, real bit flips, CRC-verified delivery).
+- :mod:`repro.sim.chaos` -- adversarial search over fault-mix space
+  (strategist -> drivers -> judge -> orchestrator) with Pareto-worst
+  tracking and bit-exact JSON replay bundles.
 """
 
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
+from repro.sim.chaos import (
+    ChaosBounds,
+    ChaosDriver,
+    ChaosJudge,
+    ChaosOutcome,
+    ChaosRunConfig,
+    ChaosScenario,
+    ChaosScore,
+    ChaosSearchConfig,
+    ChaosSearchResult,
+    ChaosStrategist,
+    ChaosWeights,
+    ReplayResult,
+    assert_replay,
+    build_bundle,
+    canonical_json,
+    chaos_search,
+    load_bundle,
+    pareto_worst,
+    replay_bundle,
+    report_digest,
+    save_bundle,
+    stable_digest,
+)
 from repro.sim.discharge import DischargeTrace, simulate_discharge
 from repro.sim.evaluate import (
     PartitionEvaluationCache,
@@ -57,6 +84,17 @@ __all__ = [
     "BSNReport",
     "BurstLoss",
     "CampaignTask",
+    "ChaosBounds",
+    "ChaosDriver",
+    "ChaosJudge",
+    "ChaosOutcome",
+    "ChaosRunConfig",
+    "ChaosScenario",
+    "ChaosScore",
+    "ChaosSearchConfig",
+    "ChaosSearchResult",
+    "ChaosStrategist",
+    "ChaosWeights",
     "CrossEndSimulator",
     "DecisionRecord",
     "DischargeTrace",
@@ -67,9 +105,20 @@ __all__ = [
     "IntegrityConfig",
     "LinkOutage",
     "PayloadCorruption",
+    "ReplayResult",
     "ResilienceReport",
     "SensorBrownout",
+    "assert_replay",
+    "build_bundle",
     "burst_lengths",
+    "canonical_json",
+    "chaos_search",
+    "load_bundle",
+    "pareto_worst",
+    "replay_bundle",
+    "report_digest",
+    "save_bundle",
+    "stable_digest",
     "MultiNodeBSN",
     "ParallelConfig",
     "PartitionEvaluationCache",

@@ -1,0 +1,174 @@
+"""Edge cases of the graceful-degradation layer.
+
+Covers the corners the chaos search leans on: repeated brownouts, cache
+invalidation after recovery of service, and fallback behaviour when the
+last-known-good cache has nothing to serve.
+"""
+
+import pytest
+
+from repro.core.degrade import GracefulDegradationPolicy, LastKnownGoodCache
+from repro.errors import ConfigurationError
+from repro.hw.arq import ARQConfig
+from repro.sim.faults import (
+    DROPPED,
+    FaultCampaign,
+    SensorBrownout,
+)
+
+
+class TestLastKnownGoodCacheEdges:
+    def test_fresh_cache_serves_nothing(self):
+        cache = LastKnownGoodCache()
+        assert cache.serve() is None
+        assert cache.serve() is None  # repeated refusals stay refusals
+
+    def test_staleness_bound_refuses_then_update_resumes(self):
+        cache = LastKnownGoodCache(max_staleness=2)
+        cache.update("d0")
+        first = cache.serve()
+        second = cache.serve()
+        assert (first.staleness, second.staleness) == (1, 2)
+        assert cache.serve() is None  # age 3 > bound
+        assert cache.serve() is None  # still refused, age keeps growing
+        cache.update("d1")  # recovery: a fresh delivery re-arms the cache
+        served = cache.serve()
+        assert served is not None
+        assert served.value == "d1"
+        assert served.staleness == 1
+
+    def test_unbounded_cache_never_refuses(self):
+        cache = LastKnownGoodCache(max_staleness=None)
+        cache.update("d0")
+        for expected_age in range(1, 50):
+            served = cache.serve()
+            assert served is not None
+            assert served.staleness == expected_age
+
+    def test_reset_forgets_value_and_age(self):
+        cache = LastKnownGoodCache(max_staleness=5)
+        cache.update("d0")
+        cache.serve()
+        cache.reset()
+        assert cache.serve() is None
+        cache.update("d1")
+        assert cache.serve().staleness == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LastKnownGoodCache(max_staleness=0)
+        with pytest.raises(ConfigurationError):
+            LastKnownGoodCache(max_staleness=-3)
+
+
+class TestRepeatedBrownouts:
+    def test_repeated_outages_toggle_fallback_each_time(self):
+        policy = GracefulDegradationPolicy(outage_threshold=2, recovery_hysteresis=3)
+        for cycle in range(4):
+            for _ in range(2):  # a brownout burst: threshold drops
+                policy.observe(False)
+            assert policy.in_fallback
+            for _ in range(3):  # recovery burst: hysteresis deliveries
+                policy.observe(True)
+            assert not policy.in_fallback
+            assert policy.transitions == 2 * (cycle + 1)
+
+    def test_short_delivery_blips_do_not_recover(self):
+        policy = GracefulDegradationPolicy(outage_threshold=2, recovery_hysteresis=4)
+        policy.observe(False)
+        policy.observe(False)
+        assert policy.in_fallback
+        # deliveries below hysteresis, interrupted by a drop: still fallback
+        policy.observe(True)
+        policy.observe(True)
+        policy.observe(False)
+        policy.observe(True)
+        policy.observe(True)
+        policy.observe(True)
+        assert policy.in_fallback
+        policy.observe(True)
+        assert not policy.in_fallback
+        assert policy.transitions == 2
+
+    def test_short_drop_blips_do_not_trip_fallback(self):
+        policy = GracefulDegradationPolicy(outage_threshold=3, recovery_hysteresis=2)
+        for _ in range(10):
+            policy.observe(False)
+            policy.observe(False)
+            policy.observe(True)
+        assert not policy.in_fallback
+        assert policy.transitions == 0
+
+    def test_reset_restores_initial_state(self):
+        policy = GracefulDegradationPolicy(outage_threshold=1, recovery_hysteresis=1)
+        policy.observe(False)
+        assert policy.in_fallback and policy.transitions == 1
+        policy.reset()
+        assert not policy.in_fallback
+        assert policy.transitions == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GracefulDegradationPolicy(outage_threshold=0)
+        with pytest.raises(ConfigurationError):
+            GracefulDegradationPolicy(recovery_hysteresis=0)
+
+
+class TestCampaignWithEmptyCache:
+    @pytest.fixture()
+    def env(self, request):
+        """Simulator + fallback metrics, as the fault campaigns use them."""
+        from repro.core.generator import AutomaticXProGenerator
+        from repro.graph.cuts import sensor_cut
+        from repro.hw.wireless import WirelessLink
+        from repro.sim.evaluate import evaluate_partition
+        from repro.sim.simulator import CrossEndSimulator
+
+        topo = request.getfixturevalue("tiny_topology")
+        lib = request.getfixturevalue("energy_lib_90")
+        cpu = request.getfixturevalue("cpu_model")
+        link = WirelessLink("model2")
+        primary = AutomaticXProGenerator(topo, lib, link, cpu).generate().metrics
+        fallback = evaluate_partition(topo, sensor_cut(topo), lib, link, cpu)
+        simulator = CrossEndSimulator(primary, period_s=0.25, seed=3)
+        return simulator, fallback
+
+    def test_brownout_at_event_zero_drops_despite_cache(self, env):
+        """A brownout before anything was delivered finds an empty cache:
+        those events must be dropped, not served stale."""
+        simulator, fallback = env
+        campaign = FaultCampaign(
+            [SensorBrownout(start_event=0, n_events=5)], seed=1
+        )
+        report = campaign.run(
+            simulator,
+            40,
+            arq=ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0),
+            policy=GracefulDegradationPolicy(),
+            fallback_metrics=fallback,
+            cache=LastKnownGoodCache(max_staleness=8),
+        )
+        assert all(r.status == DROPPED for r in report.records[:5])
+        assert report.n_dropped >= 5
+
+    def test_bounded_staleness_turns_long_brownout_into_drops(self, env):
+        """With a finite staleness bound a long brownout is only bridged for
+        max_staleness events; the remainder must surface as drops."""
+        simulator, fallback = env
+        campaign = FaultCampaign(
+            [SensorBrownout(start_event=10, n_events=20)], seed=1
+        )
+        report = campaign.run(
+            simulator,
+            60,
+            arq=ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0),
+            policy=GracefulDegradationPolicy(),
+            fallback_metrics=fallback,
+            cache=LastKnownGoodCache(max_staleness=4),
+        )
+        window = report.records[10:30]
+        degraded = [r for r in window if r.status == "degraded"]
+        dropped = [r for r in window if r.status == DROPPED]
+        assert len(degraded) == 4
+        assert len(dropped) == 16
+        assert max(r.staleness for r in degraded) == 4
