@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro integrity --case C1 --events 2000
     python -m repro chaos --events 600 --bundle-dir bundles/
     python -m repro chaos --replay bundles/chaos-<id>.json
+    python -m repro chaos --checkpoint chaos.ckpt.json --resume
+    python -m repro supervision --events 800 --json BENCH_supervision.json
     python -m repro perf --fast --baseline benchmarks/results/BENCH_perf.json
 
 The figure/headline commands accept ``--segments`` / ``--draws`` to trade
@@ -252,6 +254,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help=(
+            "snapshot the search into FILE periodically, making long "
+            "runs resumable after a crash (see --resume)"
+        ),
+    )
+    chaos.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="K",
+        help="evaluations between checkpoint snapshots (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "continue an interrupted search from --checkpoint's last "
+            "snapshot (bit-identical to an uninterrupted run)"
+        ),
+    )
+    chaos.add_argument(
         "--replay", metavar="BUNDLE", default=None,
         help=(
             "replay this bundle instead of searching; asserts the report "
@@ -263,6 +283,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="campaign runner(s) used by --replay (default: %(default)s)",
     )
     _add_scale_args(chaos)
+
+    sup = sub.add_parser(
+        "supervision",
+        help=(
+            "fleet supervision stage: circuit breaker vs flapping link, "
+            "device quarantine/recovery, checkpoint-resume self-check"
+        ),
+    )
+    sup.add_argument("--case", default="C1", help="Table 1 case symbol")
+    sup.add_argument("--node", default="90nm", choices=["130nm", "90nm", "45nm"])
+    sup.add_argument(
+        "--wireless", default="model2", choices=["model1", "model2", "model3"]
+    )
+    sup.add_argument(
+        "--events", type=int, default=800,
+        help="events per flapping-link campaign (default: %(default)s)",
+    )
+    sup.add_argument(
+        "--seed", type=int, default=11,
+        help="campaign + fleet master seed (default: %(default)s)",
+    )
+    sup.add_argument(
+        "--devices", type=int, default=4,
+        help="fleet size of the quarantine demo (default: %(default)s)",
+    )
+    sup.add_argument(
+        "--rounds", type=int, default=6,
+        help="supervision rounds of the fleet demo (default: %(default)s)",
+    )
+    sup.add_argument(
+        "--round-events", type=int, default=150,
+        help="events per device per fleet round (default: %(default)s)",
+    )
+    sup.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "PR-CI scale: tiny training context, 240 events, 3-device "
+            "fleet (overrides --events/--devices/--round-events/"
+            "--segments/--draws)"
+        ),
+    )
+    sup.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable summary (BENCH_supervision schema)",
+    )
+    sup.add_argument(
+        "--scalar-wire", action="store_true",
+        help=(
+            "force the scalar event-by-event campaign runner instead of "
+            "the vectorized fast path (bit-identical, only slower)"
+        ),
+    )
+    _add_scale_args(sup)
 
     insp = sub.add_parser(
         "inspect",
@@ -449,6 +522,9 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
         generations=generations,
         bundle_dir=args.bundle_dir,
         fast=False if args.scalar_wire else None,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     lines = [
         format_table(
@@ -486,6 +562,74 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
         )
         check_chaos_regression(summary, baseline, threshold)
         lines.append(f"chaos regression gate OK vs {args.baseline}")
+    return "\n".join(lines)
+
+
+def _cmd_supervision(args: argparse.Namespace) -> str:
+    from repro.core.pipeline import TrainingConfig
+    from repro.eval.supervision import (
+        check_supervision_gate,
+        fleet_rows,
+        supervision_eval,
+        supervision_rows,
+        write_supervision_summary,
+    )
+
+    if args.smoke:
+        ctx = ExperimentContext(
+            n_segments=40, training=TrainingConfig(n_draws=8)
+        )
+        events, devices, round_events = 240, 3, 80
+    else:
+        ctx = _context(args)
+        events, devices, round_events = (
+            args.events, args.devices, args.round_events
+        )
+    summary = supervision_eval(
+        ctx,
+        symbol=args.case.upper(),
+        node=args.node,
+        wireless=args.wireless,
+        n_events=events,
+        seed=args.seed,
+        devices=devices,
+        rounds=args.rounds,
+        round_events=round_events,
+        fast=False if args.scalar_wire else None,
+    )
+    fleet = summary["fleet"]
+    resume = summary["resume"]
+    lines = [
+        format_table(
+            supervision_rows(summary),
+            title=(
+                f"Circuit breaker under the flapping-link mix "
+                f"({args.case.upper()} at {args.node} / {args.wireless}, "
+                f"{events} events, seed {args.seed})"
+            ),
+            float_format="{:.4g}",
+        ),
+        "",
+        format_table(
+            fleet_rows(summary),
+            title=(
+                f"Fleet supervision ({devices} devices, "
+                f"{args.rounds} rounds of {round_events} events)"
+            ),
+        ),
+        "",
+        f"wasted retry radio energy saved by the breaker: "
+        f"{summary['wasted_radio_saved_uj']:.4g} uJ",
+        f"sick device {fleet['sick_device']} quarantined "
+        f"{fleet['sick_quarantines']}x, final state {fleet['sick_final_state']}",
+        f"interrupt + resume bit-identical on both runners: "
+        f"{resume['bit_identical'] if resume else 'not checked'}",
+    ]
+    if args.json:
+        target = write_supervision_summary(summary, args.json)
+        lines.append(f"supervision summary written to {target}")
+    check_supervision_gate(summary)
+    lines.append("supervision gate OK")
     return "\n".join(lines)
 
 
@@ -564,6 +708,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "integrity": _cmd_integrity,
     "resilience": _cmd_resilience,
+    "supervision": _cmd_supervision,
     "validate": _cmd_validate,
 }
 

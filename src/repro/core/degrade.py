@@ -84,6 +84,26 @@ class LastKnownGoodCache:
         self._has_value = False
         self._age = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot the mutable cache state as a JSON-safe dict.
+
+        Only meaningful when the cached value itself is JSON-safe (the
+        fault campaigns cache small integers); the configuration field
+        ``max_staleness`` is *not* included — checkpoints pin it
+        separately so a resume cannot silently change the bound.
+        """
+        return {
+            "value": self._value,
+            "has_value": self._has_value,
+            "age": self._age,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._value = state["value"]
+        self._has_value = bool(state["has_value"])
+        self._age = int(state["age"])
+
 
 @dataclass
 class GracefulDegradationPolicy:
@@ -152,3 +172,23 @@ class GracefulDegradationPolicy:
         self._consecutive_deliveries = 0
         self._in_fallback = False
         self._transitions = 0
+
+    def state_dict(self) -> dict:
+        """Snapshot the mutable policy state as a JSON-safe dict.
+
+        The thresholds are configuration, not state — checkpoints pin
+        them in the config key instead (see :mod:`repro.sim.supervise`).
+        """
+        return {
+            "consecutive_drops": self._consecutive_drops,
+            "consecutive_deliveries": self._consecutive_deliveries,
+            "in_fallback": self._in_fallback,
+            "transitions": self._transitions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._consecutive_drops = int(state["consecutive_drops"])
+        self._consecutive_deliveries = int(state["consecutive_deliveries"])
+        self._in_fallback = bool(state["in_fallback"])
+        self._transitions = int(state["transitions"])

@@ -65,3 +65,15 @@ class ReplayMismatchError(XProError):
 class ChaosRegressionError(XProError):
     """The adversarial chaos search found a worst case materially worse
     than the committed baseline allows (see :mod:`repro.eval.chaos`)."""
+
+
+class CheckpointError(XProError):
+    """A checkpoint file is missing, tampered with, or was written for a
+    different run configuration (see :mod:`repro.sim.supervise`)."""
+
+
+class SupervisionGateError(XProError):
+    """The supervision benchmark failed an acceptance gate: the circuit
+    breaker did not save wasted retry energy, availability regressed, or
+    checkpoint/resume was not bit-identical (see
+    :mod:`repro.eval.supervision`)."""

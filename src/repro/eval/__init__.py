@@ -16,6 +16,10 @@
 - :mod:`repro.eval.chaos` -- the adversarial chaos stage: fixed-mix
   baselines, worst-case search, replay-bundle emission and the nightly
   BENCH_chaos regression gate.
+- :mod:`repro.eval.supervision` -- the fleet-supervision stage: circuit
+  breaker vs flapping link, device quarantine/recovery rounds, the
+  interrupt + resume bit-identity self-check and the BENCH_supervision
+  gate.
 """
 
 from repro.eval.chaos import (
@@ -53,6 +57,16 @@ from repro.eval.resilience import (
     resilience_reports,
     resilience_rows,
 )
+from repro.eval.supervision import (
+    check_supervision_gate,
+    flapping_campaign,
+    fleet_rows,
+    load_supervision_summary,
+    supervision_eval,
+    supervision_failures,
+    supervision_rows,
+    write_supervision_summary,
+)
 from repro.eval.experiments import (
     fig4_rows,
     fig8_rows,
@@ -78,6 +92,7 @@ __all__ = [
     "chaos_run_config",
     "check_chaos_regression",
     "check_regression",
+    "check_supervision_gate",
     "codesign_rows",
     "compare_chaos_summaries",
     "fixed_mix_scenarios",
@@ -89,10 +104,17 @@ __all__ = [
     "load_perf_report",
     "perf_rows",
     "write_perf_report",
+    "flapping_campaign",
+    "fleet_rows",
     "integrity_campaign",
     "integrity_reports",
     "integrity_rows",
+    "load_supervision_summary",
     "motivation_rows",
+    "supervision_eval",
+    "supervision_failures",
+    "supervision_rows",
+    "write_supervision_summary",
     "generate_report",
     "pareto_frontier",
     "resilience_reports",

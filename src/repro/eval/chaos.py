@@ -174,6 +174,8 @@ def chaos_eval(
     seed: int = 11,
     bundle_dir: Optional[str | Path] = None,
     verify_replay: bool = True,
+    checkpoint: Optional[object] = None,
+    resume: bool = False,
 ) -> Dict[str, Any]:
     """Run baselines + adversarial search and summarise the outcome.
 
@@ -191,6 +193,12 @@ def chaos_eval(
         verify_replay: Re-run the worst scenario's bundle on *both*
             campaign runners and assert bit-identical report digests
             before returning (the summary records the digests).
+        checkpoint: Optional
+            :class:`~repro.sim.supervise.ChaosCheckpointer` forwarded to
+            :func:`~repro.sim.chaos.chaos_search`, making the long search
+            phase resumable after a crash or interruption.
+        resume: Resume the search from ``checkpoint``'s last snapshot
+            (the fixed-mix baselines are cheap and always re-run).
 
     Returns:
         A JSON-safe summary document (:data:`SUMMARY_SCHEMA`).
@@ -217,7 +225,13 @@ def chaos_eval(
         fixed_rows.append(_outcome_row(f"fixed:{label}", outcome))
 
     result = chaos_search(
-        run_config, search=search, bounds=bounds, n_events=n_events, judge=judge
+        run_config,
+        search=search,
+        bounds=bounds,
+        n_events=n_events,
+        judge=judge,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     worst = result.worst
 
@@ -298,18 +312,33 @@ def chaos_from_context(
     generations: int = 4,
     bundle_dir: Optional[str | Path] = None,
     fast: Optional[bool] = None,
+    checkpoint_path: Optional[str | Path] = None,
+    checkpoint_every: int = 8,
+    resume: bool = False,
 ) -> Dict[str, Any]:
-    """End-to-end chaos stage from a trained context (the CLI entry)."""
+    """End-to-end chaos stage from a trained context (the CLI entry).
+
+    Pass ``checkpoint_path`` to snapshot the search every
+    ``checkpoint_every`` evaluations; ``resume=True`` continues an
+    interrupted search from that file (bit-identical result).
+    """
     run_config = chaos_run_config(context, symbol, node, wireless, sim_seed=seed)
     search = ChaosSearchConfig(
         population=population, generations=generations, seed=seed, fast=fast
     )
+    checkpoint = None
+    if checkpoint_path is not None:
+        from repro.sim.supervise import ChaosCheckpointer
+
+        checkpoint = ChaosCheckpointer(checkpoint_path, every=checkpoint_every)
     return chaos_eval(
         run_config,
         n_events=n_events,
         search=search,
         seed=seed,
         bundle_dir=bundle_dir,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 

@@ -270,3 +270,28 @@ class WirelessLink:
         if bits < 0:
             raise ConfigurationError("bits must be non-negative")
         return bits * self.model.rx_nj_per_bit * _NJ * self.expected_transmissions
+
+    def single_try_tx_energy_bits(self, bits: int) -> float:
+        """Energy (J) of exactly one transmission of a raw bit count.
+
+        Unlike :meth:`tx_energy_bits` this does *not* scale by the
+        expected-transmission count of the loss/ARQ model — it is the
+        per-attempt figure the supervision layer needs when a circuit
+        breaker (:class:`~repro.sim.supervise.LinkCircuitBreaker`) caps
+        attempts per event, so retries are counted as they actually
+        happen instead of in expectation.
+        """
+        if bits < 0:
+            raise ConfigurationError("bits must be non-negative")
+        return bits * self.model.tx_nj_per_bit * _NJ
+
+    def single_try_rx_energy_bits(self, bits: int) -> float:
+        """Energy (J) of exactly one reception of a raw bit count.
+
+        The receive-side twin of :meth:`single_try_tx_energy_bits`:
+        per-attempt accounting for breaker-gated links, with no
+        expected-transmission inflation.
+        """
+        if bits < 0:
+            raise ConfigurationError("bits must be non-negative")
+        return bits * self.model.rx_nj_per_bit * _NJ

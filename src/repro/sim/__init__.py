@@ -17,6 +17,10 @@
 - :mod:`repro.sim.chaos` -- adversarial search over fault-mix space
   (strategist -> drivers -> judge -> orchestrator) with Pareto-worst
   tracking and bit-exact JSON replay bundles.
+- :mod:`repro.sim.supervise` -- the fleet-supervision tier: per-device
+  health state machines with quarantine/recovery, deterministic link
+  circuit breakers, and crash-safe digest-pinned checkpoint/resume for
+  campaigns, sweeps and chaos searches.
 """
 
 from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
@@ -76,18 +80,42 @@ from repro.sim.parallel import (
     sweep,
 )
 from repro.sim.simulator import CrossEndSimulator, SimulationReport
+from repro.sim.supervise import (
+    CHECKPOINT_SCHEMA,
+    HEALTH_STATES,
+    BreakerConfig,
+    CampaignCheckpointer,
+    CampaignResumeState,
+    ChaosCheckpointer,
+    ChaosResumeState,
+    DeviceHealth,
+    FleetSupervisor,
+    HealthPolicy,
+    LinkCircuitBreaker,
+    SweepCheckpointer,
+    fault_signature,
+    load_checkpoint,
+    save_checkpoint,
+    wasted_radio_j,
+)
 from repro.sim.timeline import render_timeline
 
 __all__ = [
     "AggregatorStall",
     "BSNNode",
     "BSNReport",
+    "BreakerConfig",
     "BurstLoss",
+    "CHECKPOINT_SCHEMA",
+    "CampaignCheckpointer",
+    "CampaignResumeState",
     "CampaignTask",
     "ChaosBounds",
+    "ChaosCheckpointer",
     "ChaosDriver",
     "ChaosJudge",
     "ChaosOutcome",
+    "ChaosResumeState",
     "ChaosRunConfig",
     "ChaosScenario",
     "ChaosScore",
@@ -97,28 +125,38 @@ __all__ = [
     "ChaosWeights",
     "CrossEndSimulator",
     "DecisionRecord",
+    "DeviceHealth",
     "DischargeTrace",
     "FaultCampaign",
     "FaultModel",
+    "FleetSupervisor",
     "GilbertElliottChannel",
     "GilbertElliottParams",
+    "HEALTH_STATES",
+    "HealthPolicy",
     "IntegrityConfig",
+    "LinkCircuitBreaker",
     "LinkOutage",
     "PayloadCorruption",
     "ReplayResult",
     "ResilienceReport",
     "SensorBrownout",
+    "SweepCheckpointer",
     "assert_replay",
     "build_bundle",
     "burst_lengths",
     "canonical_json",
     "chaos_search",
+    "fault_signature",
     "load_bundle",
+    "load_checkpoint",
     "pareto_worst",
     "replay_bundle",
     "report_digest",
     "save_bundle",
+    "save_checkpoint",
     "stable_digest",
+    "wasted_radio_j",
     "MultiNodeBSN",
     "ParallelConfig",
     "PartitionEvaluationCache",

@@ -44,7 +44,7 @@ import json
 import math
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -390,6 +390,21 @@ class ChaosStrategist:
         if n < 1:
             raise ConfigurationError("population must be >= 1")
         return [self.random_scenario() for _ in range(n)]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the strategist's RNG position as a JSON-safe dict.
+
+        The configuration (bounds, seed, elite...) is not included —
+        checkpoints pin it in their config key instead (see
+        :class:`~repro.sim.supervise.ChaosCheckpointer`).
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        generator = np.random.default_rng(0)
+        generator.bit_generator.state = dict(state["rng"])
+        self._rng = generator
 
     # -- mutation --------------------------------------------------------------
 
@@ -890,6 +905,8 @@ def chaos_search(
     bounds: Optional[ChaosBounds] = None,
     n_events: int = 400,
     judge: Optional[ChaosJudge] = None,
+    checkpoint: Optional[object] = None,
+    resume: bool = False,
 ) -> ChaosSearchResult:
     """The orchestrator: strategist -> driver -> judge, generation by generation.
 
@@ -902,6 +919,14 @@ def chaos_search(
         n_events: Run length when ``bounds`` is omitted.
         judge: Scoring override; the default judge normalises against the
             run config's period and clean sensor energy.
+        checkpoint: Optional
+            :class:`~repro.sim.supervise.ChaosCheckpointer`; snapshots
+            the strategist RNG, the generation cursor, the population and
+            every evaluated outcome every ``checkpoint.every`` campaign
+            evaluations.
+        resume: Continue from ``checkpoint``'s last snapshot; the resumed
+            search retraces the uninterrupted search exactly (same
+            proposals, same frontier, same worst case).
 
     Returns:
         The :class:`ChaosSearchResult`; deterministic in all arguments.
@@ -923,33 +948,69 @@ def chaos_search(
     memo: Dict[str, ChaosOutcome] = {}
     outcomes: List[ChaosOutcome] = []
     evaluations = 0
-    population = strategist.initial_population(search.population)
-    for generation in range(search.generations):
-        for scenario in population:
+    start_generation = 0
+    start_position = 0
+    if resume:
+        if checkpoint is None:
+            raise ConfigurationError("resume=True requires a checkpoint")
+        state = checkpoint.load(
+            run_config=run_config,
+            search=search,
+            bounds=bounds,
+            judge=judge,
+            strategist=strategist,
+        )
+        start_generation = state.generation
+        start_position = state.position
+        population = list(state.population)
+        outcomes = list(state.outcomes)
+        evaluations = state.evaluations
+        memo = {o.scenario.key: o for o in outcomes}
+    else:
+        population = strategist.initial_population(search.population)
+    for generation in range(start_generation, search.generations):
+        pos0 = start_position if generation == start_generation else 0
+        for pos in range(pos0, len(population)):
+            scenario = population[pos]
             key = scenario.key
-            if key in memo:
-                continue
-            try:
-                report = driver.run(scenario, fast=search.fast)
-            except SimulationError:
-                outcome = ChaosOutcome(
-                    scenario=scenario,
-                    score=judge.diverged_score(),
-                    report=None,
-                    report_digest=None,
+            if key not in memo:
+                try:
+                    report = driver.run(scenario, fast=search.fast)
+                except SimulationError:
+                    outcome = ChaosOutcome(
+                        scenario=scenario,
+                        score=judge.diverged_score(),
+                        report=None,
+                        report_digest=None,
+                        generation=generation,
+                    )
+                else:
+                    outcome = ChaosOutcome(
+                        scenario=scenario,
+                        score=judge.score(report),
+                        report=report,
+                        report_digest=report_digest(report),
+                        generation=generation,
+                    )
+                evaluations += 1
+                memo[key] = outcome
+                outcomes.append(outcome)
+            if checkpoint is not None and checkpoint.due(evaluations):
+                # The strategist RNG here is post-initial_population /
+                # post-last-evolve, so a resume replays the next evolve
+                # (and everything after it) identically.
+                checkpoint.save(
+                    run_config=run_config,
+                    search=search,
+                    bounds=bounds,
+                    judge=judge,
+                    strategist=strategist,
                     generation=generation,
+                    position=pos + 1,
+                    population=population,
+                    outcomes=outcomes,
+                    evaluations=evaluations,
                 )
-            else:
-                outcome = ChaosOutcome(
-                    scenario=scenario,
-                    score=judge.score(report),
-                    report=report,
-                    report_digest=report_digest(report),
-                    generation=generation,
-                )
-            evaluations += 1
-            memo[key] = outcome
-            outcomes.append(outcome)
         ranked = sorted(
             outcomes, key=lambda o: o.score.badness, reverse=True
         )

@@ -486,13 +486,25 @@ class ResilienceReport:
 
     @property
     def mean_latency_s(self) -> float:
-        """Mean decision latency over served events (NaN if none)."""
+        """Mean decision latency over served events.
+
+        NaN when the campaign served nothing (every event dropped): an
+        all-dropped run has no latency distribution, and NaN — rather
+        than 0.0 or an exception — keeps the statistic honest, propagates
+        through downstream arithmetic, and round-trips the canonical
+        encoders (:func:`repro.sim.chaos._float_token`, checkpoint hex
+        floats).  Check :attr:`availability` before aggregating.
+        """
         served = self._served_latency_array
         return float(np.mean(served)) if served.size else math.nan
 
     @property
     def max_latency_s(self) -> float:
-        """Worst decision latency over served events (NaN if none)."""
+        """Worst decision latency over served events.
+
+        NaN for an all-dropped campaign, with the same semantics as
+        :attr:`mean_latency_s` (no served events means no distribution).
+        """
         served = self._served_latency_array
         return float(served.max()) if served.size else math.nan
 
@@ -502,7 +514,12 @@ class ResilienceReport:
         return max((r.tries for r in self.records), default=0)
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile over served events (NaN if none served)."""
+        """Latency percentile over served events.
+
+        NaN for an all-dropped campaign (guarded before ``np.percentile``,
+        which would raise on an empty array); see :attr:`mean_latency_s`
+        for the NaN contract.
+        """
         if not 0 <= percentile <= 100:
             raise ConfigurationError("percentile must be in [0, 100]")
         served = self._served_latency_array
@@ -686,6 +703,9 @@ class FaultCampaign:
         cache: Optional[LastKnownGoodCache] = None,
         integrity: Optional[IntegrityConfig] = None,
         fast: Optional[bool] = None,
+        breaker: Optional[object] = None,
+        checkpoint: Optional[object] = None,
+        resume: bool = False,
     ) -> ResilienceReport:
         """Stream ``n_events`` through the system with faults injected.
 
@@ -722,6 +742,21 @@ class FaultCampaign:
                 :class:`~repro.errors.ConfigurationError` when a fault
                 model lacks one.  Both runners produce bit-identical
                 reports under the same seed.
+            breaker: Optional link circuit breaker
+                (:class:`~repro.sim.supervise.LinkCircuitBreaker`); gates
+                every non-browned-out event before the ARQ layer.  Blocked
+                events keep the radio off (zero attempts, zero retry
+                energy) and are served from the cache or dropped; probe
+                events run with the breaker's reduced retry budget.
+                Requires a bounded ``arq``.
+            checkpoint: Optional
+                :class:`~repro.sim.supervise.CampaignCheckpointer`;
+                snapshots the complete run state (fault RNGs, clocks,
+                counters, records) every ``checkpoint.every`` events with
+                crash-safe atomic writes.
+            resume: Continue from ``checkpoint``'s last snapshot instead
+                of starting at event 0.  The resumed run's report is
+                bit-identical to an uninterrupted run on the same runner.
 
         Returns:
             The :class:`ResilienceReport`; bit-for-bit identical across
@@ -741,9 +776,32 @@ class FaultCampaign:
                 "(LinkOutage, BurstLoss, PayloadCorruption, SensorBrownout, "
                 "AggregatorStall); pass fast=None or fast=False"
             )
+        if breaker is not None and arq.max_retries is None:
+            raise ConfigurationError(
+                "a circuit breaker requires a bounded ARQConfig: its probe "
+                "schedule counts whole events, which only terminate when "
+                "the per-event retry budget is finite"
+            )
+        if resume and checkpoint is None:
+            raise ConfigurationError("resume=True requires a checkpoint")
+        resume_state = None
+        if resume:
+            resume_state = checkpoint.load(
+                campaign=self,
+                runner="fast" if use_fast else "scalar",
+                simulator=simulator,
+                n_events=n_events,
+                arq=arq,
+                policy=policy,
+                fallback_metrics=fallback_metrics,
+                cache=cache,
+                integrity=integrity,
+                breaker=breaker,
+            )
         runner = self._run_fast if use_fast else self._run_scalar
         return runner(
-            simulator, n_events, arq, policy, fallback_metrics, cache, integrity
+            simulator, n_events, arq, policy, fallback_metrics, cache,
+            integrity, breaker, checkpoint, resume_state
         )
 
     def _run_scalar(
@@ -755,13 +813,21 @@ class FaultCampaign:
         fallback_metrics: Optional[PartitionMetrics],
         cache: Optional[LastKnownGoodCache],
         integrity: Optional[IntegrityConfig],
+        breaker: Optional[object] = None,
+        checkpoint: Optional[object] = None,
+        resume_state: Optional[object] = None,
     ) -> ResilienceReport:
         """Reference event-by-event runner (see :meth:`run`)."""
-        self.reset()
-        if policy is not None:
-            policy.reset()
-        if cache is not None:
-            cache.reset()
+        if resume_state is None:
+            # A resume skips the resets: checkpoint.load() already re-armed
+            # the campaign and restored fault/policy/cache/breaker state.
+            self.reset()
+            if policy is not None:
+                policy.reset()
+            if cache is not None:
+                cache.reset()
+            if breaker is not None:
+                breaker.reset()
 
         period = simulator.period_s
         jitter_rng = (
@@ -791,7 +857,22 @@ class FaultCampaign:
             "integrity_discards": 0,
         }
 
-        for k in range(n_events):
+        start = 0
+        if resume_state is not None:
+            start = resume_state.cursor
+            front_free, link_free, back_free = resume_state.clocks
+            sensor_j, aggregator_j, retry_j = resume_state.energies
+            retransmissions, fallback_events, misses = resume_state.counters
+            records = list(resume_state.records)
+            wire.update(resume_state.wire)
+            payload_rng = _restore_rng(resume_state.extra["payload_rng"])
+            if jitter_rng is not None:
+                jitter_rng = _restore_rng(resume_state.extra["jitter_rng"])
+            seq_base = int(resume_state.extra["seq_base"])
+
+        probe_arq = None if breaker is None else breaker.probe_arq(arq)
+
+        for k in range(start, n_events):
             release = k * period
             in_fallback = policy is not None and policy.in_fallback
             if in_fallback:
@@ -815,103 +896,158 @@ class FaultCampaign:
                     records.append(
                         DecisionRecord(k, DROPPED, 0, math.nan, in_fallback, 0)
                     )
-                continue
-
-            t_front, t_link, t_back = _jittered(
-                active, simulator.jitter_sigma, jitter_rng
-            )
-
-            front_start = max(release, front_free)
-            front_end = front_start + t_front
-            front_free = front_end
-            sensor_j += active.sensor_compute_j
-
-            if integrity is None:
-                sent_payload = None
-                received = [None]
-                discarded = [False]
-                attempt_fn = lambda attempt: self.try_lost(k, attempt)  # noqa: E731
             else:
-                values = quantize_array(
-                    payload_rng.uniform(
-                        -1000.0, 1000.0, integrity.values_per_payload
-                    )
-                )
-                sent_payload = encode_values(values)
-                frames = fragment_payload(
-                    sent_payload, seq_base, integrity.framing
-                )
-                seq_base = (seq_base + len(frames)) % SEQ_MODULUS
-                received = [None]
-                discarded = [False]
-                attempt_fn = self._make_wire_attempt(
-                    k, frames, integrity, wire, received, discarded
+                t_front, t_link, t_back = _jittered(
+                    active, simulator.jitter_sigma, jitter_rng
                 )
 
-            outcome = arq.simulate(attempt_fn, t_link)
-            link_start = max(front_end, link_free)
-            link_end = link_start + outcome.delay_s
-            link_free = link_end
+                front_start = max(release, front_free)
+                front_end = front_start + t_front
+                front_free = front_end
+                sensor_j += active.sensor_compute_j
 
-            per_try_radio = active.sensor_tx_j + active.sensor_rx_j
-            sensor_j += outcome.tries * per_try_radio
-            aggregator_j += outcome.tries * active.aggregator_radio_j
-            retransmissions += outcome.tries - 1
-            retry_j += (outcome.tries - 1) * (
-                per_try_radio + active.aggregator_radio_j
-            )
-
-            app_delivered = outcome.delivered
-            if app_delivered and discarded[0]:
-                # Detect-only CRC: the link delivered, the receiver's
-                # integrity check rejected the payload at the app layer.
-                wire["integrity_discards"] += 1
-                app_delivered = False
-
-            if app_delivered:
-                corrupted = (
-                    integrity is not None and received[0] != sent_payload
-                )
-                if corrupted:
-                    wire["corrupted_deliveries"] += 1
-                if policy is not None:
-                    policy.observe(True)
-                if cache is not None:
-                    cache.update(k)
-                back_start = max(link_end, back_free)
-                finish = back_start + t_back + self.stall_s(k)
-                back_free = finish
-                aggregator_j += active.aggregator_cpu_j
-                latency = finish - release
-                records.append(
-                    DecisionRecord(k, DELIVERED, outcome.tries, latency,
-                                   in_fallback, 0, corrupted)
-                )
-            else:
-                if policy is not None:
-                    policy.observe(False)
-                served = cache.serve() if cache is not None else None
-                if served is not None:
-                    latency = link_end - release
-                    records.append(
-                        DecisionRecord(k, DEGRADED, outcome.tries, latency,
-                                       in_fallback, served.staleness)
-                    )
+                if integrity is None:
+                    sent_payload = None
+                    received = [None]
+                    discarded = [False]
+                    attempt_fn = lambda attempt: self.try_lost(k, attempt)  # noqa: E731
                 else:
-                    latency = math.nan
-                    records.append(
-                        DecisionRecord(k, DROPPED, outcome.tries, math.nan,
-                                       in_fallback, 0)
+                    values = quantize_array(
+                        payload_rng.uniform(
+                            -1000.0, 1000.0, integrity.values_per_payload
+                        )
+                    )
+                    sent_payload = encode_values(values)
+                    frames = fragment_payload(
+                        sent_payload, seq_base, integrity.framing
+                    )
+                    seq_base = (seq_base + len(frames)) % SEQ_MODULUS
+                    received = [None]
+                    discarded = [False]
+                    attempt_fn = self._make_wire_attempt(
+                        k, frames, integrity, wire, received, discarded
                     )
 
-            if not math.isnan(latency):
-                if latency > period:
-                    misses += 1
-                if latency > 1000 * period:
-                    raise SimulationError(
-                        f"event backlog diverges under faults at event {k}: "
-                        f"latency {latency:.4f}s >> period {period:.4f}s"
+                decision = "allow" if breaker is None else breaker.decide(k)
+                if decision == "block":
+                    # Open breaker: the radio stays off.  The decision
+                    # layer sees the same drop signal an exhausted ARQ
+                    # would give, minus the retries' energy and latency.
+                    if policy is not None:
+                        policy.observe(False)
+                    served = cache.serve() if cache is not None else None
+                    if served is not None:
+                        latency = front_end - release
+                        records.append(
+                            DecisionRecord(k, DEGRADED, 0, latency,
+                                           in_fallback, served.staleness)
+                        )
+                    else:
+                        latency = math.nan
+                        records.append(
+                            DecisionRecord(k, DROPPED, 0, math.nan,
+                                           in_fallback, 0)
+                        )
+                else:
+                    event_arq = probe_arq if decision == "probe" else arq
+                    outcome = event_arq.simulate(attempt_fn, t_link)
+                    if breaker is not None:
+                        breaker.record(k, outcome.delivered)
+                    link_start = max(front_end, link_free)
+                    link_end = link_start + outcome.delay_s
+                    link_free = link_end
+
+                    per_try_radio = active.sensor_tx_j + active.sensor_rx_j
+                    sensor_j += outcome.tries * per_try_radio
+                    aggregator_j += outcome.tries * active.aggregator_radio_j
+                    retransmissions += outcome.tries - 1
+                    retry_j += (outcome.tries - 1) * (
+                        per_try_radio + active.aggregator_radio_j
                     )
+
+                    app_delivered = outcome.delivered
+                    if app_delivered and discarded[0]:
+                        # Detect-only CRC: the link delivered, the
+                        # receiver's integrity check rejected the payload
+                        # at the app layer.
+                        wire["integrity_discards"] += 1
+                        app_delivered = False
+
+                    if app_delivered:
+                        corrupted = (
+                            integrity is not None and received[0] != sent_payload
+                        )
+                        if corrupted:
+                            wire["corrupted_deliveries"] += 1
+                        if policy is not None:
+                            policy.observe(True)
+                        if cache is not None:
+                            cache.update(k)
+                        back_start = max(link_end, back_free)
+                        finish = back_start + t_back + self.stall_s(k)
+                        back_free = finish
+                        aggregator_j += active.aggregator_cpu_j
+                        latency = finish - release
+                        records.append(
+                            DecisionRecord(k, DELIVERED, outcome.tries,
+                                           latency, in_fallback, 0, corrupted)
+                        )
+                    else:
+                        if policy is not None:
+                            policy.observe(False)
+                        served = cache.serve() if cache is not None else None
+                        if served is not None:
+                            latency = link_end - release
+                            records.append(
+                                DecisionRecord(k, DEGRADED, outcome.tries,
+                                               latency, in_fallback,
+                                               served.staleness)
+                            )
+                        else:
+                            latency = math.nan
+                            records.append(
+                                DecisionRecord(k, DROPPED, outcome.tries,
+                                               math.nan, in_fallback, 0)
+                            )
+
+                if not math.isnan(latency):
+                    if latency > period:
+                        misses += 1
+                    if latency > 1000 * period:
+                        raise SimulationError(
+                            f"event backlog diverges under faults at event "
+                            f"{k}: latency {latency:.4f}s >> period "
+                            f"{period:.4f}s"
+                        )
+
+            if checkpoint is not None and checkpoint.due(k + 1):
+                checkpoint.save(
+                    campaign=self,
+                    runner="scalar",
+                    simulator=simulator,
+                    n_events=n_events,
+                    arq=arq,
+                    policy=policy,
+                    fallback_metrics=fallback_metrics,
+                    cache=cache,
+                    integrity=integrity,
+                    breaker=breaker,
+                    cursor=k + 1,
+                    clocks=(front_free, link_free, back_free),
+                    energies=(sensor_j, aggregator_j, retry_j),
+                    counters=(retransmissions, fallback_events, misses),
+                    records=records,
+                    wire=wire,
+                    extra={
+                        "payload_rng": payload_rng.bit_generator.state,
+                        "jitter_rng": (
+                            None
+                            if jitter_rng is None
+                            else jitter_rng.bit_generator.state
+                        ),
+                        "seq_base": seq_base,
+                    },
+                )
 
         return ResilienceReport(
             records=records,
@@ -987,6 +1123,9 @@ class FaultCampaign:
         fallback_metrics: Optional[PartitionMetrics],
         cache: Optional[LastKnownGoodCache],
         integrity: Optional[IntegrityConfig],
+        breaker: Optional[object] = None,
+        checkpoint: Optional[object] = None,
+        resume_state: Optional[object] = None,
     ) -> ResilienceReport:
         """Vectorized runner; bit-identical to :meth:`_run_scalar`.
 
@@ -1000,12 +1139,23 @@ class FaultCampaign:
         the scalar order; the fast path instead skips the frame decode of
         every untouched frame (an encode/decode round trip it already
         knows succeeds).
+
+        On resume, everything deterministic (masks, jitter factors,
+        payload matrices) is recomputed from the seeds; only the
+        *consumed-ahead* composed loss outcomes — pre-drawn before the
+        snapshot from RNGs that have since advanced — travel through the
+        checkpoint as an explicit remainder buffer.
         """
-        self.reset()
-        if policy is not None:
-            policy.reset()
-        if cache is not None:
-            cache.reset()
+        if resume_state is None:
+            # A resume skips the resets: checkpoint.load() already re-armed
+            # the campaign and restored fault/policy/cache/breaker state.
+            self.reset()
+            if policy is not None:
+                policy.reset()
+            if cache is not None:
+                cache.reset()
+            if breaker is not None:
+                breaker.reset()
 
         period = simulator.period_s
         sigma = simulator.jitter_sigma
@@ -1117,7 +1267,24 @@ class FaultCampaign:
 
         att = 0  # global attempt cursor into the loss streams
         a = 0  # active (non-browned-out) event counter
-        for k in range(n_events):
+        start = 0
+        if resume_state is not None:
+            start = resume_state.cursor
+            front_free, link_free, back_free = resume_state.clocks
+            sensor_j, aggregator_j, retry_j = resume_state.energies
+            retransmissions, fallback_events, misses = resume_state.counters
+            records = list(resume_state.records)
+            wire.update(resume_state.wire)
+            a = int(resume_state.extra["a"])
+            loss.buf = np.asarray(
+                resume_state.extra["loss_remainder"], dtype=bool
+            )
+        probe_tries = (
+            None
+            if breaker is None
+            else min(breaker.config.probe_retries + 1, bounded_tries)
+        )
+        for k in range(start, n_events):
             release = k * period
             in_fallback = policy is not None and policy.in_fallback
             if in_fallback:
@@ -1139,152 +1306,210 @@ class FaultCampaign:
                     records.append(
                         DecisionRecord(k, DROPPED, 0, math.nan, in_fallback, 0)
                     )
-                continue
-
-            if factors is not None:
-                row = factors[a]
-                t_front = active.delay_front_s * row[0]
-                t_link = active.delay_link_s * row[1]
-                t_back = active.delay_back_s * row[2]
             else:
-                t_front = active.delay_front_s
-                t_link = active.delay_link_s
-                t_back = active.delay_back_s
-
-            front_start = max(release, front_free)
-            front_end = front_start + t_front
-            front_free = front_end
-            sensor_j += active.sensor_compute_j
-
-            if integrity is not None and corruptors:
-                base_row = a * n_frames_per_event
-                ev_frames = frame_bytes[base_row : base_row + n_frames_per_event]
-                ev_chunks = chunk_bytes[base_row : base_row + n_frames_per_event]
-                sent_payload = sent_payloads[a]
-            else:
-                ev_frames = ev_chunks = []
-                sent_payload = None
-
-            event_out = bool(outage[k])
-            if bounded_tries is not None:
-                loss.ensure(att + bounded_tries)
-            tries = 0
-            delay = 0.0
-            delivered = False
-            discarded = False
-            received: Optional[bytes] = None
-            while True:
-                tries += 1
-                delay = delay + t_link
-                if integrity is not None:
-                    wire["frames_sent"] += n_frames_per_event
-                if att >= loss.buf.size:
-                    loss.ensure(att + 1)
-                lost = event_out or bool(loss.buf[att])
-                att += 1
-                if not lost and ev_frames:
-                    mutated = detected = 0
-                    parts: List[bytes] = []
-                    for j, raw in enumerate(ev_frames):
-                        on_air = raw
-                        for corruptor in corruptors:
-                            on_air = corruptor.corrupt_frame(k, tries, j, on_air)
-                        if on_air == raw:
-                            parts.append(ev_chunks[j])
-                            continue
-                        mutated += 1
-                        try:
-                            parts.append(
-                                decode_frame(on_air, integrity.framing).payload
-                            )
-                        except IntegrityError:
-                            detected += 1
-                    wire["frames_corrupted"] += mutated
-                    wire["corruptions_detected"] += detected
-                    if detected:
-                        if integrity.retransmit_on_corrupt:
-                            lost = True
-                        else:
-                            discarded = True
-                            received = None
-                    else:
-                        discarded = False
-                        received = b"".join(parts)
-                if not lost:
-                    delivered = True
-                    break
-                if bounded_tries is not None and tries >= bounded_tries:
-                    break
-                if tries >= DEFAULT_MAX_SIMULATED_TRIES:
-                    raise SimulationError(
-                        f"unbounded ARQ exceeded {DEFAULT_MAX_SIMULATED_TRIES} "
-                        "tries on one payload: the channel never recovered "
-                        "(retry storm); use a bounded ARQConfig to keep "
-                        "per-payload delay finite"
-                    )
-                if backoffs is not None:
-                    delay = delay + backoffs[tries]
-
-            link_start = max(front_end, link_free)
-            link_end = link_start + delay
-            link_free = link_end
-
-            per_try_radio = active.sensor_tx_j + active.sensor_rx_j
-            sensor_j += tries * per_try_radio
-            aggregator_j += tries * active.aggregator_radio_j
-            retransmissions += tries - 1
-            retry_j += (tries - 1) * (
-                per_try_radio + active.aggregator_radio_j
-            )
-
-            app_delivered = delivered
-            if app_delivered and discarded:
-                wire["integrity_discards"] += 1
-                app_delivered = False
-
-            if app_delivered:
-                corrupted = bool(ev_frames) and received != sent_payload
-                if corrupted:
-                    wire["corrupted_deliveries"] += 1
-                if policy is not None:
-                    policy.observe(True)
-                if cache is not None:
-                    cache.update(k)
-                back_start = max(link_end, back_free)
-                finish = back_start + t_back + stall[k]
-                back_free = finish
-                aggregator_j += active.aggregator_cpu_j
-                latency = finish - release
-                records.append(
-                    DecisionRecord(k, DELIVERED, tries, latency,
-                                   in_fallback, 0, corrupted)
-                )
-            else:
-                if policy is not None:
-                    policy.observe(False)
-                served = cache.serve() if cache is not None else None
-                if served is not None:
-                    latency = link_end - release
-                    records.append(
-                        DecisionRecord(k, DEGRADED, tries, latency,
-                                       in_fallback, served.staleness)
-                    )
+                if factors is not None:
+                    row = factors[a]
+                    t_front = active.delay_front_s * row[0]
+                    t_link = active.delay_link_s * row[1]
+                    t_back = active.delay_back_s * row[2]
                 else:
-                    latency = math.nan
-                    records.append(
-                        DecisionRecord(k, DROPPED, tries, math.nan,
-                                       in_fallback, 0)
+                    t_front = active.delay_front_s
+                    t_link = active.delay_link_s
+                    t_back = active.delay_back_s
+
+                front_start = max(release, front_free)
+                front_end = front_start + t_front
+                front_free = front_end
+                sensor_j += active.sensor_compute_j
+
+                if integrity is not None and corruptors:
+                    base_row = a * n_frames_per_event
+                    ev_frames = frame_bytes[
+                        base_row : base_row + n_frames_per_event
+                    ]
+                    ev_chunks = chunk_bytes[
+                        base_row : base_row + n_frames_per_event
+                    ]
+                    sent_payload = sent_payloads[a]
+                else:
+                    ev_frames = ev_chunks = []
+                    sent_payload = None
+
+                decision = "allow" if breaker is None else breaker.decide(k)
+                if decision == "block":
+                    # Open breaker: no attempts, no loss-slot consumption
+                    # (the scalar runner never calls try_lost either).
+                    if policy is not None:
+                        policy.observe(False)
+                    served = cache.serve() if cache is not None else None
+                    if served is not None:
+                        latency = front_end - release
+                        records.append(
+                            DecisionRecord(k, DEGRADED, 0, latency,
+                                           in_fallback, served.staleness)
+                        )
+                    else:
+                        latency = math.nan
+                        records.append(
+                            DecisionRecord(k, DROPPED, 0, math.nan,
+                                           in_fallback, 0)
+                        )
+                else:
+                    event_cap = (
+                        probe_tries if decision == "probe" else bounded_tries
+                    )
+                    event_out = bool(outage[k])
+                    if event_cap is not None:
+                        loss.ensure(att + event_cap)
+                    tries = 0
+                    delay = 0.0
+                    delivered = False
+                    discarded = False
+                    received: Optional[bytes] = None
+                    while True:
+                        tries += 1
+                        delay = delay + t_link
+                        if integrity is not None:
+                            wire["frames_sent"] += n_frames_per_event
+                        if att >= loss.buf.size:
+                            loss.ensure(att + 1)
+                        lost = event_out or bool(loss.buf[att])
+                        att += 1
+                        if not lost and ev_frames:
+                            mutated = detected = 0
+                            parts: List[bytes] = []
+                            for j, raw in enumerate(ev_frames):
+                                on_air = raw
+                                for corruptor in corruptors:
+                                    on_air = corruptor.corrupt_frame(
+                                        k, tries, j, on_air
+                                    )
+                                if on_air == raw:
+                                    parts.append(ev_chunks[j])
+                                    continue
+                                mutated += 1
+                                try:
+                                    parts.append(
+                                        decode_frame(
+                                            on_air, integrity.framing
+                                        ).payload
+                                    )
+                                except IntegrityError:
+                                    detected += 1
+                            wire["frames_corrupted"] += mutated
+                            wire["corruptions_detected"] += detected
+                            if detected:
+                                if integrity.retransmit_on_corrupt:
+                                    lost = True
+                                else:
+                                    discarded = True
+                                    received = None
+                            else:
+                                discarded = False
+                                received = b"".join(parts)
+                        if not lost:
+                            delivered = True
+                            break
+                        if event_cap is not None and tries >= event_cap:
+                            break
+                        if tries >= DEFAULT_MAX_SIMULATED_TRIES:
+                            raise SimulationError(
+                                f"unbounded ARQ exceeded "
+                                f"{DEFAULT_MAX_SIMULATED_TRIES} "
+                                "tries on one payload: the channel never "
+                                "recovered (retry storm); use a bounded "
+                                "ARQConfig to keep per-payload delay finite"
+                            )
+                        if backoffs is not None:
+                            delay = delay + backoffs[tries]
+
+                    if breaker is not None:
+                        breaker.record(k, delivered)
+                    link_start = max(front_end, link_free)
+                    link_end = link_start + delay
+                    link_free = link_end
+
+                    per_try_radio = active.sensor_tx_j + active.sensor_rx_j
+                    sensor_j += tries * per_try_radio
+                    aggregator_j += tries * active.aggregator_radio_j
+                    retransmissions += tries - 1
+                    retry_j += (tries - 1) * (
+                        per_try_radio + active.aggregator_radio_j
                     )
 
-            if not math.isnan(latency):
-                if latency > period:
-                    misses += 1
-                if latency > 1000 * period:
-                    raise SimulationError(
-                        f"event backlog diverges under faults at event {k}: "
-                        f"latency {latency:.4f}s >> period {period:.4f}s"
-                    )
-            a += 1
+                    app_delivered = delivered
+                    if app_delivered and discarded:
+                        wire["integrity_discards"] += 1
+                        app_delivered = False
+
+                    if app_delivered:
+                        corrupted = bool(ev_frames) and received != sent_payload
+                        if corrupted:
+                            wire["corrupted_deliveries"] += 1
+                        if policy is not None:
+                            policy.observe(True)
+                        if cache is not None:
+                            cache.update(k)
+                        back_start = max(link_end, back_free)
+                        finish = back_start + t_back + stall[k]
+                        back_free = finish
+                        aggregator_j += active.aggregator_cpu_j
+                        latency = finish - release
+                        records.append(
+                            DecisionRecord(k, DELIVERED, tries, latency,
+                                           in_fallback, 0, corrupted)
+                        )
+                    else:
+                        if policy is not None:
+                            policy.observe(False)
+                        served = cache.serve() if cache is not None else None
+                        if served is not None:
+                            latency = link_end - release
+                            records.append(
+                                DecisionRecord(k, DEGRADED, tries, latency,
+                                               in_fallback, served.staleness)
+                            )
+                        else:
+                            latency = math.nan
+                            records.append(
+                                DecisionRecord(k, DROPPED, tries, math.nan,
+                                               in_fallback, 0)
+                            )
+
+                if not math.isnan(latency):
+                    if latency > period:
+                        misses += 1
+                    if latency > 1000 * period:
+                        raise SimulationError(
+                            f"event backlog diverges under faults at event "
+                            f"{k}: latency {latency:.4f}s >> period "
+                            f"{period:.4f}s"
+                        )
+                a += 1
+
+            if checkpoint is not None and checkpoint.due(k + 1):
+                checkpoint.save(
+                    campaign=self,
+                    runner="fast",
+                    simulator=simulator,
+                    n_events=n_events,
+                    arq=arq,
+                    policy=policy,
+                    fallback_metrics=fallback_metrics,
+                    cache=cache,
+                    integrity=integrity,
+                    breaker=breaker,
+                    cursor=k + 1,
+                    clocks=(front_free, link_free, back_free),
+                    energies=(sensor_j, aggregator_j, retry_j),
+                    counters=(retransmissions, fallback_events, misses),
+                    records=records,
+                    wire=wire,
+                    extra={
+                        "a": a,
+                        "loss_remainder": loss.buf[att:].astype(int).tolist(),
+                    },
+                )
 
         return ResilienceReport(
             records=records,
@@ -1337,6 +1562,13 @@ class _LossStream:
             for draw in self._draws:
                 chunk |= draw(grow)
             self.buf = np.concatenate([self.buf, chunk])
+
+
+def _restore_rng(state: Dict[str, object]) -> np.random.Generator:
+    """Rebuild a numpy Generator from a saved bit-generator state dict."""
+    generator = np.random.default_rng(0)
+    generator.bit_generator.state = dict(state)
+    return generator
 
 
 def _jittered(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import product
 from typing import (
@@ -49,7 +50,7 @@ from typing import (
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.faults import FaultCampaign, ResilienceReport
 from repro.sim.multinode import BSNReport, MultiNodeBSN
 from repro.sim.simulator import CrossEndSimulator
@@ -134,6 +135,16 @@ def parallel_map(
             than once per task.
         initargs: Arguments for ``initializer`` (picklable).
 
+    Worker-death recovery: a worker process that dies mid-task (OOM
+    kill, segfault, ``os._exit``) no longer poisons the whole fan-out
+    with an opaque ``BrokenProcessPool``.  Because every task is
+    self-contained and carries its own derived seed, the chunks lost with
+    the dead worker are simply re-executed serially in-process — with
+    bit-identical results.  A task that then fails *again* raises a
+    :class:`~repro.errors.SimulationError` naming its index.  Ordinary
+    exceptions raised by ``func`` inside a healthy worker propagate
+    unchanged.
+
     Returns:
         ``[func(item) for item in items]`` — same values, any backend.
     """
@@ -146,10 +157,47 @@ def parallel_map(
             initializer(*initargs)
         return [func(item) for item in items]
     workers = min(config.resolved_workers(), len(items))
+    chunks = [
+        items[i : i + config.chunksize]
+        for i in range(0, len(items), config.chunksize)
+    ]
+    chunk_results: List[Optional[List[Any]]] = [None] * len(chunks)
+    broken: List[int] = []
     with ProcessPoolExecutor(
         max_workers=workers, initializer=initializer, initargs=initargs
     ) as pool:
-        return list(pool.map(func, items, chunksize=config.chunksize))
+        futures = [
+            pool.submit(_run_item_chunk, (func, chunk)) for chunk in chunks
+        ]
+        for ci, future in enumerate(futures):
+            try:
+                chunk_results[ci] = future.result()
+            except BrokenProcessPool:
+                broken.append(ci)
+    if broken:
+        if initializer is not None:
+            initializer(*initargs)
+        for ci in broken:
+            base = ci * config.chunksize
+            retried: List[Any] = []
+            for offset, item in enumerate(chunks[ci]):
+                try:
+                    retried.append(func(item))
+                except Exception as exc:
+                    raise SimulationError(
+                        f"task {base + offset} failed in a worker process "
+                        f"and again on the serial retry: {exc}"
+                    ) from exc
+            chunk_results[ci] = retried
+    return [value for chunk in chunk_results for value in chunk]
+
+
+def _run_item_chunk(
+    payload: Tuple[Callable[[Any], Any], List[Any]]
+) -> List[Any]:
+    """Worker: evaluate one contiguous chunk of task items in order."""
+    func, chunk = payload
+    return [func(item) for item in chunk]
 
 
 # -- fleet drivers (module-level workers so the process backend can pickle) --
@@ -266,6 +314,8 @@ def sweep(
     grid: Mapping[str, Sequence[Any]],
     config: Optional[ParallelConfig] = None,
     shared: Optional[Mapping[str, Any]] = None,
+    checkpoint: Optional[object] = None,
+    resume: bool = False,
 ) -> List[Tuple[Dict[str, Any], Any]]:
     """Evaluate ``func`` over the cartesian product of a parameter grid.
 
@@ -288,6 +338,15 @@ def sweep(
             mutations (accumulated warm states, memo entries) speed up
             that worker without feeding back to the caller — results stay
             bit-identical to the serial backend either way.
+        checkpoint: Optional
+            :class:`~repro.sim.supervise.SweepCheckpointer`; the grid is
+            evaluated in batches of ``checkpoint.every`` points and the
+            completed ``index -> value`` map is snapshot after each batch
+            (crash-safe atomic writes).
+        resume: Skip the points recorded in ``checkpoint``'s last
+            snapshot and evaluate only the remainder.  Every point is an
+            independent seeded task, so the stitched result is
+            bit-identical to an uninterrupted sweep.
 
     Returns:
         ``(params, value)`` pairs in deterministic product order, where
@@ -295,6 +354,8 @@ def sweep(
     """
     if not grid:
         raise ConfigurationError("sweep grid must name at least one parameter")
+    if resume and checkpoint is None:
+        raise ConfigurationError("resume=True requires a checkpoint")
     names = list(grid.keys())
     overlap = set(names) & set(shared or {})
     if overlap:
@@ -304,14 +365,35 @@ def sweep(
     combos = [
         tuple(zip(names, values)) for values in product(*(grid[n] for n in names))
     ]
+    if checkpoint is None:
+        try:
+            results = parallel_map(
+                _call_with_params,
+                [(func, c) for c in combos],
+                config,
+                initializer=_init_sweep_shared,
+                initargs=(dict(shared or {}),),
+            )
+        finally:
+            _init_sweep_shared({})  # don't leak serial-backend state
+        return [(dict(c), r) for c, r in zip(combos, results)]
+    done: Dict[int, Any] = (
+        checkpoint.load(func=func, grid=grid, shared=shared) if resume else {}
+    )
+    pending = [i for i in range(len(combos)) if i not in done]
     try:
-        results = parallel_map(
-            _call_with_params,
-            [(func, c) for c in combos],
-            config,
-            initializer=_init_sweep_shared,
-            initargs=(dict(shared or {}),),
-        )
+        for lo in range(0, len(pending), checkpoint.every):
+            batch = pending[lo : lo + checkpoint.every]
+            values = parallel_map(
+                _call_with_params,
+                [(func, combos[i]) for i in batch],
+                config,
+                initializer=_init_sweep_shared,
+                initargs=(dict(shared or {}),),
+            )
+            for i, value in zip(batch, values):
+                done[i] = value
+            checkpoint.save(func=func, grid=grid, shared=shared, done=done)
     finally:
         _init_sweep_shared({})  # don't leak serial-backend state across sweeps
-    return [(dict(c), r) for c, r in zip(combos, results)]
+    return [(dict(combos[i]), done[i]) for i in range(len(combos))]

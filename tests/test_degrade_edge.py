@@ -114,6 +114,129 @@ class TestRepeatedBrownouts:
             GracefulDegradationPolicy(recovery_hysteresis=0)
 
 
+class TestHysteresisBoundaries:
+    """Exact-threshold behaviour of the degradation policy's hysteresis."""
+
+    def test_trips_at_exactly_outage_threshold(self):
+        policy = GracefulDegradationPolicy(outage_threshold=4, recovery_hysteresis=2)
+        for _ in range(3):
+            policy.observe(False)
+        assert not policy.in_fallback  # threshold - 1: not yet
+        policy.observe(False)
+        assert policy.in_fallback  # exactly threshold drops trip it
+        assert policy.transitions == 1
+
+    def test_recovers_at_exactly_recovery_hysteresis(self):
+        policy = GracefulDegradationPolicy(outage_threshold=1, recovery_hysteresis=5)
+        policy.observe(False)
+        assert policy.in_fallback
+        for _ in range(4):
+            policy.observe(True)
+        assert policy.in_fallback  # hysteresis - 1: still degraded
+        policy.observe(True)
+        assert not policy.in_fallback  # exactly hysteresis deliveries recover
+        assert policy.transitions == 2
+
+    def test_immediate_reoutage_after_recovery(self):
+        policy = GracefulDegradationPolicy(outage_threshold=2, recovery_hysteresis=2)
+        for delivered in (False, False, True, True):
+            policy.observe(delivered)
+        assert not policy.in_fallback
+        # Fresh drops must count from zero again after a recovery.
+        policy.observe(False)
+        assert not policy.in_fallback
+        policy.observe(False)
+        assert policy.in_fallback
+        assert policy.transitions == 3
+
+    def test_state_dict_roundtrip_mid_hysteresis(self):
+        policy = GracefulDegradationPolicy(outage_threshold=2, recovery_hysteresis=4)
+        for delivered in (False, False, True, True):
+            policy.observe(delivered)
+        snap = policy.state_dict()
+        clone = GracefulDegradationPolicy(outage_threshold=2, recovery_hysteresis=4)
+        clone.load_state(snap)
+        assert clone.state_dict() == snap
+        # Both continue identically: two more deliveries complete recovery.
+        for p in (policy, clone):
+            p.observe(True)
+            p.observe(True)
+        assert policy.in_fallback == clone.in_fallback is False
+        assert policy.state_dict() == clone.state_dict()
+
+
+class TestOpenBreakerInteraction:
+    """An open circuit breaker feeds drop signals into the policy."""
+
+    def _run(self, n_events=200):
+        from repro.sim.evaluate import PartitionMetrics
+        from repro.sim.faults import BurstLoss, LinkOutage
+        from repro.sim.channel import GilbertElliottParams
+        from repro.sim.simulator import CrossEndSimulator
+        from repro.sim.supervise import BreakerConfig, LinkCircuitBreaker
+
+        metrics = PartitionMetrics(
+            in_sensor=frozenset(),
+            sensor_compute_j=1e-6,
+            sensor_tx_j=1e-6,
+            sensor_rx_j=1e-7,
+            delay_front_s=1e-3,
+            delay_link_s=2e-3,
+            delay_back_s=1e-3,
+            aggregator_cpu_j=1e-6,
+            aggregator_radio_j=1e-6,
+            crossing_bits_up=256,
+            crossing_bits_down=0,
+        )
+        fallback = PartitionMetrics(
+            in_sensor=frozenset({"all"}),
+            sensor_compute_j=2e-6,
+            sensor_tx_j=2e-7,
+            sensor_rx_j=1e-8,
+            delay_front_s=2e-3,
+            delay_link_s=5e-4,
+            delay_back_s=1e-3,
+            aggregator_cpu_j=1e-7,
+            aggregator_radio_j=2e-7,
+            crossing_bits_up=16,
+            crossing_bits_down=0,
+        )
+        policy = GracefulDegradationPolicy(outage_threshold=3, recovery_hysteresis=8)
+        breaker = LinkCircuitBreaker(BreakerConfig(failure_threshold=2))
+        campaign = FaultCampaign(
+            [
+                BurstLoss(GilbertElliottParams(0.01, 0.10, 0.005, 0.5)),
+                LinkOutage(start_event=40, n_events=60),
+            ],
+            seed=4,
+        )
+        report = campaign.run(
+            CrossEndSimulator(metrics, period_s=0.25, seed=3),
+            n_events,
+            arq=ARQConfig(max_retries=3, timeout_s=2e-3, backoff_factor=2.0),
+            policy=policy,
+            fallback_metrics=fallback,
+            cache=LastKnownGoodCache(),
+            breaker=breaker,
+        )
+        return report, policy, breaker
+
+    def test_blocked_events_count_as_drop_signals(self):
+        report, policy, breaker = self._run()
+        assert breaker.opens >= 1 and breaker.blocked_events > 0
+        # The policy entered fallback during the outage and left it after.
+        assert policy.transitions >= 2
+        assert not policy.in_fallback  # link healthy again at the end
+        # Blocked events were served stale rather than lost.
+        blocked = [r for r in report.records if r.tries == 0 and 40 <= r.index < 100]
+        assert blocked
+        assert all(r.status == "degraded" for r in blocked)
+        # Once the block streak passes the outage threshold the policy has
+        # tripped, so later blocked events are flagged as fallback-served.
+        assert all(r.fallback for r in blocked if r.index >= 44)
+        assert any(r.fallback for r in blocked)
+
+
 class TestCampaignWithEmptyCache:
     @pytest.fixture()
     def env(self, request):

@@ -179,6 +179,24 @@ class TestCampaignRun:
         assert degraded.n_degraded > 0
         assert degraded.fallback_events > 0
 
+    def test_all_dropped_campaign_reports_nan_latency_stats(self, fault_env):
+        """A total outage with no cache serves nothing: the latency stats
+        must be NaN (no distribution), never 0.0 or an exception."""
+        simulator, _, _ = fault_env
+        campaign = FaultCampaign(
+            [LinkOutage(start_event=0, n_events=50)], seed=2
+        )
+        report = campaign.run(simulator, 50, arq=ARQConfig(max_retries=3))
+        assert report.availability == 0.0
+        assert report.n_dropped == 50
+        assert math.isnan(report.mean_latency_s)
+        assert math.isnan(report.max_latency_s)
+        assert math.isnan(report.latency_percentile(99.0))
+        # The NaN sentinel survives the digest pipeline (hex float tokens).
+        from repro.sim.chaos import report_digest
+
+        assert report_digest(report) == report_digest(report)
+
     def test_fallback_engages_and_recovers(self, fault_env):
         simulator, _, fallback = fault_env
         report = standard_campaign().run(

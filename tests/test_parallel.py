@@ -1,10 +1,13 @@
 """Tests: the parallel fleet driver is bit-identical to serial execution."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.generator import AutomaticXProGenerator
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.graph.cuts import sensor_cut
 from repro.graph.stgraph import build_st_graph_template
 from repro.hw.arq import ARQConfig
@@ -131,6 +134,57 @@ class TestParallelMap:
     def test_order_preserved(self):
         out = parallel_map(_square, [5, 1, 4, 2], PROCESS)
         assert out == [25, 1, 16, 4]
+
+
+def _in_worker():
+    """Whether this call runs inside a pool worker process."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _die_in_worker(x):
+    """Worker: kill the hosting process; compute fine on the serial retry."""
+    if _in_worker():
+        os._exit(1)
+    return x * 10
+
+
+def _die_everywhere(x):
+    """Worker: kill the pool process AND fail the in-process serial retry."""
+    if _in_worker():
+        os._exit(1)
+    raise RuntimeError("no serial luck either")
+
+
+def _raise_value_error(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestWorkerDeathRecovery:
+    """Satellite: a dying worker process must not take the fan-out down."""
+
+    def test_dead_worker_retries_serially_and_succeeds(self):
+        items = [1, 2, 3, 4, 5]
+        assert parallel_map(_die_in_worker, items, PROCESS) == [
+            10, 20, 30, 40, 50,
+        ]
+
+    def test_double_failure_names_the_task_index(self):
+        with pytest.raises(
+            SimulationError,
+            match=r"task 0 failed in a worker process and again on the "
+            r"serial retry",
+        ):
+            parallel_map(_die_everywhere, [7], PROCESS)
+
+    def test_ordinary_worker_exception_propagates_unchanged(self):
+        """A healthy worker raising is the caller's bug, not pool damage:
+        the original exception type must surface, not SimulationError."""
+        with pytest.raises(ValueError, match="bad item 3"):
+            parallel_map(_raise_value_error, [3], PROCESS)
+
+    def test_serial_backend_is_untouched_by_recovery_path(self):
+        with pytest.raises(ValueError, match="bad item 5"):
+            parallel_map(_raise_value_error, [5], SERIAL)
 
 
 class TestFleet:
