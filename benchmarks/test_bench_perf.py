@@ -2,8 +2,9 @@
 
 Times the vectorized hot paths against their scalar references — feature
 extraction, multi-level DWT, ensemble inference, the end-to-end segment
-pipeline, the warm-started generator fast path and the batch wire data
-plane (framing/CRC/Q16.16 codec) — and writes the machine-readable
+pipeline, the warm-started generator fast path, the batch wire data
+plane (framing/CRC/Q16.16 codec) and the struct-of-arrays fleet engine
+(vs its per-object scalar twin) — and writes the machine-readable
 report to
 ``benchmarks/results/BENCH_perf.json`` (``results-fast/`` under
 ``XPRO_BENCH_FAST=1``).  See ``docs/PERFORMANCE.md`` for the report
@@ -102,21 +103,23 @@ def test_wire_speedup_floor(perf_report):
     assert case["speedup"] >= 8.0, f"wire speedup {case['speedup']:.2f} < 8"
 
 
-def test_fleet_serial_throughput_floor(perf_report):
-    """The fleet sweep is gated on absolute serial throughput, not speedup.
+def test_fleet_speedup_floor(perf_report):
+    """Acceptance: >= 8x struct-of-arrays fleet engine over the scalar twin.
 
-    Its parallel/serial ratio tracks the runner's core count (below 1 on
-    single-core CI), so instead of a ratio floor the serial DES itself
-    must clear a conservative networks-per-second floor — a 10x
-    regression in the simulator would trip this on any hardware.
+    Both paths run single-core, so the ratio is portable across runner
+    hardware (unlike the retired absolute networks-per-second floor).
+    The equivalence flag asserts full bit-identity — counters, energies,
+    latencies, NaN-sentinel availability and final channel states — via
+    ``fleet_results_identical``, under the shared per-network RNG
+    draw-order contract.  Full mode sizes the fleet at 10^4 devices.
     """
     case = perf_report["cases"].get("fleet")
     if case is None:
         pytest.skip("fleet stage not collected in this run")
-    assert case["equivalent"], "serial and parallel fleet sweeps disagreed"
-    assert case["scalar_per_s"] >= 50.0, (
-        f"serial fleet throughput {case['scalar_per_s']:.1f} networks/s < 50"
-    )
+    assert case["equivalent"], "SoA fleet engine diverged from the scalar twin"
+    if not FAST_MODE:
+        assert case["n_items"] >= 10_000
+    assert case["speedup"] >= 8.0, f"fleet speedup {case['speedup']:.2f} < 8"
 
 
 def test_regression_gate(perf_report):

@@ -26,7 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.pipeline import TrainingConfig
-from repro.errors import XProError
+from repro.errors import ConfigurationError, XProError
 from repro.eval.context import DEFAULT_EVAL_SEGMENTS, ExperimentContext
 from repro.eval import experiments
 from repro.eval.tables import format_table
@@ -643,6 +643,11 @@ def _cmd_perf(args: argparse.Namespace) -> str:
         write_perf_report,
     )
 
+    if args.no_fleet and args.stage and "fleet" in args.stage:
+        raise ConfigurationError(
+            "--no-fleet conflicts with --stage fleet: the fleet stage is "
+            "both requested and excluded"
+        )
     report = collect_perf_report(
         fast=args.fast,
         repeats=args.repeats,

@@ -24,11 +24,14 @@ reference and the vectorised batch path — for each stage of the pipeline:
   ``decode_frames``/``decode_values``); its equivalence flag also
   asserts a seeded scalar-vs-fast :class:`~repro.sim.faults.
   FaultCampaign` byte-level run replays bit-identically;
-- **fleet**: the serial vs process-parallel fan-out of one BSN
-  design-space sweep (informational — its speedup tracks the worker
-  count of the machine, so it is never a tracked gate metric; the
-  benchmark suite holds it to an absolute serial-throughput floor
-  instead).
+- **fleet**: population-scale fleet rounds — the per-object scalar twin
+  (:func:`~repro.sim.fleetsoa.simulate_fleet_scalar`, real
+  :class:`~repro.sim.channel.GilbertElliottChannel` objects stepped one
+  slot at a time) vs the struct-of-arrays engine
+  (:func:`~repro.sim.fleetsoa.simulate_fleet_soa`, one ndarray per state
+  field across 10^4 devices, block channel draws); its equivalence flag
+  asserts the two paths are **bit-identical** (NaN-aware, same RNG draw
+  order) via :func:`~repro.sim.fleetsoa.fleet_results_identical`.
 
 Every benchmark first asserts the two paths agree (decision-identical or
 within float precision), so a timing run is also an equivalence check.
@@ -71,6 +74,7 @@ TRACKED_METRICS = (
     "end_to_end.speedup",
     "generator.speedup",
     "wire.speedup",
+    "fleet.speedup",
 )
 
 #: Stage names accepted by :func:`collect_perf_report`'s ``stages`` filter.
@@ -485,38 +489,62 @@ def bench_wire(
 
 
 def bench_fleet(
-    n_networks: int = 16, n_events: int = 1000, repeats: int = 1
+    n_networks: int = 1250,
+    devices_per_network: int = 8,
+    n_rounds: int = 4,
+    repeats: int = 1,
+    seed: int = 2025,
 ) -> PerfCase:
-    """Time a BSN fleet simulation sweep: serial vs process-parallel.
+    """Time population-scale fleet rounds: scalar twin vs SoA engine.
 
-    Informational only — the speedup tracks the machine's worker count
-    (and is below 1 on single-core CI runners, where the pool only adds
-    overhead), so it is deliberately not a tracked gate metric.  The
-    workload is sized past pool amortisation so multi-core machines see
-    a meaningful ratio; correctness is held by the equivalence flag and
-    by the absolute serial-throughput floor asserted in
-    ``benchmarks/test_bench_perf.py``.
+    One item is one simulated device (``n_items = n_networks *
+    devices_per_network`` — 10^4 at the full-mode defaults).  Both paths
+    simulate the identical fleet — mixed TDMA/MIMO networks, bursty
+    Gilbert-Elliott links, bounded stop-and-wait retries — under the
+    per-network RNG draw-order contract of :mod:`repro.sim.fleetsoa`:
+
+    - *scalar path*: :func:`~repro.sim.fleetsoa.simulate_fleet_scalar` —
+      one Python event loop per device, real
+      :class:`~repro.sim.channel.GilbertElliottChannel` objects stepped
+      one attempt slot at a time (the pre-SoA fleet shape);
+    - *batch path*: :func:`~repro.sim.fleetsoa.simulate_fleet_soa` — one
+      ndarray per state field across the whole fleet, block channel
+      draws through :func:`~repro.sim.channel.ge_outcome_block`.
+
+    ``equivalent`` asserts the full :class:`~repro.sim.fleetsoa.
+    FleetResult` columns — counters, energies, latencies, availability
+    (NaN sentinels included) and final channel states — are bit-identical
+    via :func:`~repro.sim.fleetsoa.fleet_results_identical`.  Both
+    timings run on one core, so the ratio is machine-portable and gated
+    (``fleet.speedup`` in :data:`TRACKED_METRICS`).
     """
-    from repro.sim.multinode import BSNNode, MultiNodeBSN
-    from repro.sim.parallel import SERIAL, fleet_simulations
+    from repro.sim.fleetsoa import (
+        FleetConfig,
+        FleetSpec,
+        fleet_results_identical,
+        simulate_fleet_scalar,
+        simulate_fleet_soa,
+    )
 
-    metrics = _bench_metrics()
-    fleet = [
-        MultiNodeBSN(
-            [
-                BSNNode(f"bsn{k}_ecg", metrics, period_s=0.25),
-                BSNNode(f"bsn{k}_emg", metrics, period_s=0.40),
-            ],
-            protocol="tdma" if k % 2 == 0 else "mimo",
+    if n_networks < 1 or devices_per_network < 1 or n_rounds < 1:
+        raise ConfigurationError(
+            "n_networks, devices_per_network and n_rounds must be positive"
         )
-        for k in range(n_networks)
-    ]
-    serial_out = fleet_simulations(fleet, n_events, SERIAL)
-    parallel_out = fleet_simulations(fleet, n_events)
-    equivalent = serial_out == parallel_out
-    scalar = _best_wall_s(lambda: fleet_simulations(fleet, n_events, SERIAL), repeats)
-    batch = _best_wall_s(lambda: fleet_simulations(fleet, n_events), repeats)
-    return PerfCase("fleet", n_networks, scalar, batch, equivalent)
+    spec = FleetSpec.homogeneous(
+        n_networks,
+        devices_per_network,
+        _bench_metrics(),
+        period_s=0.25,
+        protocol="mixed",
+        config=FleetConfig(events_per_round=4, max_retries=2, seed=seed),
+    )
+    equivalent = fleet_results_identical(
+        simulate_fleet_scalar(spec, n_rounds),
+        simulate_fleet_soa(spec, n_rounds),
+    )
+    scalar = _best_wall_s(lambda: simulate_fleet_scalar(spec, n_rounds), repeats)
+    batch = _best_wall_s(lambda: simulate_fleet_soa(spec, n_rounds), repeats)
+    return PerfCase("fleet", spec.n_devices, scalar, batch, equivalent)
 
 
 def collect_perf_report(
@@ -571,8 +599,9 @@ def collect_perf_report(
     if include_fleet and wanted("fleet"):
         cases.append(
             bench_fleet(
-                n_networks=6 if fast else 16,
-                n_events=300 if fast else 1000,
+                n_networks=256 if fast else 1250,
+                devices_per_network=8,
+                n_rounds=4,
                 repeats=1,
             )
         )

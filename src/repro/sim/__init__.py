@@ -23,7 +23,12 @@
   campaigns, sweeps and chaos searches.
 """
 
-from repro.sim.channel import GilbertElliottChannel, GilbertElliottParams, burst_lengths
+from repro.sim.channel import (
+    GilbertElliottChannel,
+    GilbertElliottParams,
+    burst_lengths,
+    ge_outcome_block,
+)
 from repro.sim.chaos import (
     ChaosBounds,
     ChaosDriver,
@@ -67,6 +72,15 @@ from repro.sim.faults import (
     ResilienceReport,
     SensorBrownout,
 )
+from repro.sim.fleetsoa import (
+    FleetConfig,
+    FleetResult,
+    FleetSpec,
+    concat_fleet_results,
+    fleet_results_identical,
+    simulate_fleet_scalar,
+    simulate_fleet_soa,
+)
 from repro.sim.lifetime import battery_lifetime_hours, event_period_s
 from repro.sim.multinode import BSNNode, BSNReport, MultiNodeBSN
 from repro.sim.parallel import (
@@ -75,6 +89,7 @@ from repro.sim.parallel import (
     derive_seeds,
     fleet_reports,
     fleet_simulations,
+    fleet_soa_rounds,
     parallel_map,
     run_campaigns,
     sweep,
@@ -129,6 +144,9 @@ __all__ = [
     "DischargeTrace",
     "FaultCampaign",
     "FaultModel",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSpec",
     "FleetSupervisor",
     "GilbertElliottChannel",
     "GilbertElliottParams",
@@ -145,6 +163,7 @@ __all__ = [
     "assert_replay",
     "build_bundle",
     "burst_lengths",
+    "concat_fleet_results",
     "canonical_json",
     "chaos_search",
     "fault_signature",
@@ -164,14 +183,19 @@ __all__ = [
     "SimulationReport",
     "battery_lifetime_hours",
     "derive_seeds",
+    "ge_outcome_block",
     "evaluate_partition",
     "fleet_reports",
+    "fleet_results_identical",
     "fleet_simulations",
+    "fleet_soa_rounds",
     "metrics_identical",
     "parallel_map",
     "render_timeline",
     "run_campaigns",
     "simulate_discharge",
+    "simulate_fleet_scalar",
+    "simulate_fleet_soa",
     "sweep",
     "event_period_s",
 ]

@@ -66,6 +66,68 @@ class GilbertElliottParams:
         return 1.0 / self.p_bad_to_good
 
 
+def ge_outcome_block(
+    bad0: np.ndarray,
+    ut: np.ndarray,
+    ul: np.ndarray,
+    params: GilbertElliottParams,
+) -> tuple:
+    """Resolve the Gilbert-Elliott recurrence for pre-drawn uniform blocks.
+
+    The chain-scan core shared by :meth:`GilbertElliottChannel.outcome_block`
+    (one chain) and the struct-of-arrays fleet engine
+    (:mod:`repro.sim.fleetsoa`, one row per device): each step's transition
+    uniform classifies it as a *setter* (pins the state regardless of
+    history), a *flip* (both transition tests fire, so the state toggles),
+    or an identity; the state at step ``t`` is then the last setter's value
+    XOR the parity of flips since it, computed with ``maximum.accumulate``
+    and ``cumsum`` along the step axis.
+
+    Args:
+        bad0: Initial chain state(s); shape ``ut.shape[:-1]`` (a scalar
+            for one chain, ``(n_chains,)`` for a matrix of chains).
+        ut: Transition uniforms, one per step, steps on the last axis.
+        ul: Loss uniforms, same shape as ``ut``.
+        params: Chain parameters.
+
+    Returns:
+        ``(loss, final_bad)`` — boolean loss outcomes shaped like ``ut``
+        and the chain state(s) after the last step, shaped like ``bad0``.
+        Outcomes are bit-identical to stepping each chain with
+        :meth:`GilbertElliottChannel.next_outcome` over the same uniforms.
+    """
+    ut = np.asarray(ut, dtype=np.float64)
+    ul = np.asarray(ul, dtype=np.float64)
+    if ut.shape != ul.shape or ut.ndim < 1 or ut.shape[-1] < 1:
+        raise ConfigurationError(
+            "ut and ul must share a shape with at least one step"
+        )
+    bad_start = np.asarray(bad0, dtype=bool)
+    if bad_start.shape != ut.shape[:-1]:
+        raise ConfigurationError(
+            f"bad0 shape {bad_start.shape} must equal ut.shape[:-1] "
+            f"{ut.shape[:-1]}"
+        )
+    n = ut.shape[-1]
+    would_enter_bad = ut < params.p_good_to_bad
+    would_recover = ut < params.p_bad_to_good
+    flip = would_enter_bad & would_recover
+    setter = would_enter_bad ^ would_recover
+    idx = np.arange(n)
+    last_set = np.maximum.accumulate(np.where(setter, idx, -1), axis=-1)
+    flips = np.cumsum(flip, axis=-1)
+    set_val = would_enter_bad.astype(np.int64)
+    anchor = np.clip(last_set, 0, None)
+    set_at_anchor = np.take_along_axis(set_val, anchor, axis=-1)
+    flips_at_anchor = np.take_along_axis(flips, anchor, axis=-1)
+    start = np.expand_dims(bad_start.astype(np.int64), -1)
+    base = np.where(last_set >= 0, set_at_anchor, start)
+    parity = np.where(last_set >= 0, flips - flips_at_anchor, flips) & 1
+    state = base ^ parity
+    loss = ul < np.where(state, params.loss_bad, params.loss_good)
+    return loss, state[..., -1].astype(bool).reshape(bad_start.shape)
+
+
 class GilbertElliottChannel:
     """Stateful per-payload loss source.
 
@@ -73,15 +135,21 @@ class GilbertElliottChannel:
         params: Chain parameters.
         seed: Random seed; the channel owns its generator so simulations
             are reproducible.
+        rng: Optional externally owned generator.  When given it is used
+            *instead* of ``seed``; several channels constructed with the
+            same generator share one stream in construction order, which
+            is how the fleet scalar twin (:mod:`repro.sim.fleetsoa`)
+            reproduces the per-network block draws of the SoA engine.
     """
 
     def __init__(
         self,
         params: GilbertElliottParams = GilbertElliottParams(),
         seed: int = 0,
+        rng: "np.random.Generator | None" = None,
     ) -> None:
         self.params = params
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._bad = self._rng.random() < params.stationary_bad_fraction
 
     @property
@@ -109,32 +177,23 @@ class GilbertElliottChannel:
         outcomes — and the chain state left behind — are bit-identical
         to ``n`` sequential :meth:`next_outcome` calls on the same seed.
 
-        The state recurrence is resolved without a Python loop: each
-        step's transition uniform classifies it as a *setter* (pins the
-        state regardless of history), a *flip* (both transition tests
-        fire, so the state toggles), or an identity; the state at step
-        ``t`` is then the last setter's value XOR the parity of flips
-        since it, computed with ``maximum.accumulate`` and ``cumsum``.
+        The state recurrence is resolved without a Python loop by
+        :func:`ge_outcome_block` (setter/flip classification,
+        ``maximum.accumulate`` + ``cumsum`` parity), shared with the
+        struct-of-arrays fleet engine where it runs on one row per
+        device.
         """
         if n <= 0:
             raise ConfigurationError("n must be positive")
-        p = self.params
         draws = self._rng.random(2 * n)
-        ut, ul = draws[0::2], draws[1::2]
-        would_enter_bad = ut < p.p_good_to_bad
-        would_recover = ut < p.p_bad_to_good
-        flip = would_enter_bad & would_recover
-        setter = would_enter_bad ^ would_recover
-        idx = np.arange(n)
-        last_set = np.maximum.accumulate(np.where(setter, idx, -1))
-        flips = np.cumsum(flip)
-        set_val = would_enter_bad.astype(np.int64)
-        anchor = np.clip(last_set, 0, None)
-        base = np.where(last_set >= 0, set_val[anchor], np.int64(self._bad))
-        parity = np.where(last_set >= 0, flips - flips[anchor], flips) & 1
-        state = base ^ parity
-        self._bad = bool(state[-1])
-        return ul < np.where(state, p.loss_bad, p.loss_good)
+        loss, final_bad = ge_outcome_block(
+            np.asarray(self._bad, dtype=bool),
+            draws[0::2],
+            draws[1::2],
+            self.params,
+        )
+        self._bad = bool(final_bad)
+        return loss
 
     def outcomes(self, n: int) -> np.ndarray:
         """Boolean loss outcomes for ``n`` consecutive payloads."""

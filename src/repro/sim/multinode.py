@@ -19,6 +19,13 @@ cut objective is per-node battery energy, so independence is exact); the
 
 The BSN-level lifetime is the *minimum* per-node battery lifetime — the
 network dies with its first dead sensor.
+
+This is the per-object, one-network-at-a-time model.  For
+population-scale fleets (10^4-10^6 devices) use the struct-of-arrays
+engine in :mod:`repro.sim.fleetsoa`, which vectorises TDMA/MIMO fleet
+rounds across all networks at once and keeps a bit-identical scalar twin
+(:func:`~repro.sim.fleetsoa.FleetSpec.from_networks` builds a fleet spec
+from ``MultiNodeBSN`` instances).
 """
 
 from __future__ import annotations

@@ -5,7 +5,10 @@ The evaluation layers run large numbers of *independent* simulations: one
 configuration, one seeded :class:`~repro.sim.faults.FaultCampaign` per
 scenario, one partition evaluation per design-space point.  Each task is
 self-contained and carries its own seed, so the sweep is embarrassingly
-parallel — this module fans it across worker processes.
+parallel — this module fans it across worker processes.  Population-scale
+fleets go through :func:`fleet_soa_rounds`, which shards the network axis
+of a struct-of-arrays :class:`~repro.sim.fleetsoa.FleetSpec` and ships the
+shared read-only columns once per worker.
 
 Determinism contract
 --------------------
@@ -243,6 +246,93 @@ def fleet_simulations(
     if n_events <= 0:
         raise ConfigurationError("n_events must be positive")
     return parallel_map(_bsn_simulate, [(bsn, n_events) for bsn in bsns], config)
+
+
+#: Per-process shared SoA fleet state installed by :func:`_init_fleet_shared`:
+#: the read-only spec columns, round count and policy cross the process
+#: boundary once per worker instead of once per shard.
+_FLEET_SHARED: Dict[str, Any] = {}
+
+
+def _init_fleet_shared(spec: Any, n_rounds: int, policy: Any) -> None:
+    """Worker initializer: install the fleet's shared read-only arrays."""
+    global _FLEET_SHARED
+    _FLEET_SHARED = {"spec": spec, "n_rounds": n_rounds, "policy": policy}
+
+
+def _fleet_soa_shard(bounds: Tuple[int, int]) -> Any:
+    """Worker: simulate one contiguous network range of the shared fleet."""
+    from repro.sim.fleetsoa import simulate_fleet_soa
+
+    lo, hi = bounds
+    shared = _FLEET_SHARED
+    return simulate_fleet_soa(
+        shared["spec"].slice_networks(lo, hi),
+        shared["n_rounds"],
+        policy=shared["policy"],
+    )
+
+
+def fleet_soa_rounds(
+    spec: Any,
+    n_rounds: int,
+    policy: Any = None,
+    config: Optional[ParallelConfig] = None,
+    shards: Optional[int] = None,
+) -> Any:
+    """Process-parallel struct-of-arrays fleet simulation.
+
+    Shards the network axis of a :class:`~repro.sim.fleetsoa.FleetSpec`
+    into contiguous ranges (one per worker by default), hands the shared
+    read-only spec columns to each worker once via the pool initializer,
+    simulates every range with :func:`~repro.sim.fleetsoa.
+    simulate_fleet_soa` and stitches the shards back into fleet order.
+
+    Every network owns an independent seeded stream
+    (:func:`derive_seeds`), every supervised device an independent health
+    machine, so the sharded result is **bit-identical** to the unsharded
+    one — and the serial backend to the process backend — by
+    construction.
+
+    Args:
+        spec: The fleet layout (:class:`~repro.sim.fleetsoa.FleetSpec`).
+        n_rounds: Supervision rounds to simulate.
+        policy: Optional :class:`~repro.sim.supervise.HealthPolicy`.
+        config: Execution configuration.
+        shards: Shard count override (default: resolved worker count).
+
+    Returns:
+        One stitched :class:`~repro.sim.fleetsoa.FleetResult`.
+    """
+    from repro.sim.fleetsoa import concat_fleet_results, simulate_fleet_soa
+
+    if n_rounds < 1:
+        raise ConfigurationError("n_rounds must be >= 1")
+    if shards is not None and shards < 1:
+        raise ConfigurationError("shards must be >= 1 when given")
+    config = config or ParallelConfig()
+    n_networks = spec.n_networks
+    if n_networks == 0:
+        return simulate_fleet_soa(spec, n_rounds, policy=policy)
+    n_shards = min(shards or config.resolved_workers(), n_networks)
+    bounds = [
+        (
+            (s * n_networks) // n_shards,
+            ((s + 1) * n_networks) // n_shards,
+        )
+        for s in range(n_shards)
+    ]
+    try:
+        parts = parallel_map(
+            _fleet_soa_shard,
+            bounds,
+            config,
+            initializer=_init_fleet_shared,
+            initargs=(spec, n_rounds, policy),
+        )
+    finally:
+        _init_fleet_shared(None, 0, None)  # don't leak serial-backend state
+    return concat_fleet_results(parts)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,11 @@ Each event is a pipeline job: ``front compute -> link transfer -> back
 compute``.  A resource processes one job at a time (the link is half-duplex;
 the aggregator CPU is a single core; the front-end is one analytic engine
 instance), so event *k* may have to wait for event *k-1*.
+
+This simulator is the single-device microscope.  For simulating whole
+device *populations* (availability, retries, battery death and
+supervision across 10^4-10^6 devices) see the struct-of-arrays fleet
+engine in :mod:`repro.sim.fleetsoa`.
 """
 
 from __future__ import annotations

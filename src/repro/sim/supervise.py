@@ -1126,6 +1126,31 @@ class DeviceHealth:
         quarantined device — quarantine removes the device from
         scheduling, so it cannot produce campaign rounds.
         """
+        return self.observe_counts(
+            events=report.n_events,
+            delivered=report.n_delivered,
+            degraded=report.n_degraded,
+            dropped=report.n_dropped,
+            sensor_j=report.sensor_energy_j,
+            availability=report.availability,
+        )
+
+    def observe_counts(
+        self,
+        events: int,
+        delivered: int,
+        degraded: int,
+        dropped: int,
+        sensor_j: float,
+        availability: float,
+    ) -> str:
+        """Fold one scheduled round in from raw counts; returns the state.
+
+        The column-oriented entry point used by the struct-of-arrays
+        fleet engine (:mod:`repro.sim.fleetsoa`): no per-round report
+        object has to exist, the round's numbers are enough.  Semantics
+        are exactly :meth:`observe`'s.
+        """
         if self._state == QUARANTINED:
             raise ConfigurationError(
                 f"device {self.name!r} is quarantined and was not scheduled; "
@@ -1133,13 +1158,12 @@ class DeviceHealth:
             )
         bucket = self.accounting[self._state]
         bucket["rounds"] += 1
-        bucket["events"] += report.n_events
-        bucket["delivered"] += report.n_delivered
-        bucket["degraded"] += report.n_degraded
-        bucket["dropped"] += report.n_dropped
-        bucket["sensor_j"] += report.sensor_energy_j
+        bucket["events"] += events
+        bucket["delivered"] += delivered
+        bucket["degraded"] += degraded
+        bucket["dropped"] += dropped
+        bucket["sensor_j"] += sensor_j
 
-        availability = report.availability
         poor = availability < self.policy.degraded_availability
         bad = availability < self.policy.quarantine_availability
 
@@ -1261,6 +1285,55 @@ class FleetSupervisor:
             if node.name not in self._devices
             or self._devices[node.name].schedulable
         ]
+
+    def schedulable_mask(self, names: Sequence[str]) -> np.ndarray:
+        """Boolean schedulability column for a device-name ordering.
+
+        The struct-of-arrays fleet engine (:mod:`repro.sim.fleetsoa`)
+        asks once per round with its fleet-order name column; the mask is
+        ANDed with the battery-alive column to form the round's schedule.
+        """
+        return np.fromiter(
+            (self.device(name).schedulable for name in names),
+            dtype=bool,
+            count=len(names),
+        )
+
+    def observe_availability_round(
+        self,
+        names: Sequence[str],
+        scheduled: np.ndarray,
+        events: int,
+        delivered: np.ndarray,
+        dropped: np.ndarray,
+        sensor_j: np.ndarray,
+    ) -> None:
+        """Fold one SoA fleet round in from its per-device columns.
+
+        The column counterpart of :meth:`observe_round`: ``scheduled`` is
+        the round's schedule mask and the remaining columns are that
+        round's per-device counters in the same fleet order as ``names``.
+        Scheduled devices are observed (availability =
+        ``delivered / events``, fleet rounds have no degraded serves);
+        every device quarantined at the start of the round is ticked one
+        rest round instead — exactly :meth:`observe_round`'s semantics,
+        without per-round report objects existing.
+        """
+        resting = [
+            d for d in self._devices.values() if d.state == QUARANTINED
+        ]
+        for i in np.flatnonzero(np.asarray(scheduled, dtype=bool)):
+            n_delivered = int(delivered[i])
+            self.device(names[i]).observe_counts(
+                events=int(events),
+                delivered=n_delivered,
+                degraded=0,
+                dropped=int(dropped[i]),
+                sensor_j=float(sensor_j[i]),
+                availability=n_delivered / float(events),
+            )
+        for dev in resting:
+            dev.tick()
 
     def observe_round(self, reports: Mapping[str, ResilienceReport]) -> None:
         """Fold one supervision round in.

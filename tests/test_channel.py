@@ -8,6 +8,7 @@ from repro.sim.channel import (
     GilbertElliottChannel,
     GilbertElliottParams,
     burst_lengths,
+    ge_outcome_block,
 )
 
 
@@ -97,6 +98,91 @@ class TestChannel:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             GilbertElliottChannel().outcomes(0)
+
+
+class TestOutcomeBlock:
+    """The N-D chain solver behind outcome_block and the SoA fleet engine."""
+
+    def test_matrix_rows_match_independent_channels(self):
+        """A 2-D ge_outcome_block call (one row per chain) is bit-identical
+        to stepping one GilbertElliottChannel per row on the same draws."""
+        params = GilbertElliottParams(0.05, 0.08, 0.02, 0.7)
+        rng = np.random.default_rng(31)
+        n_chains, n_steps = 7, 64
+        ut = rng.random((n_chains, n_steps))
+        ul = rng.random((n_chains, n_steps))
+        bad0 = rng.random(n_chains) < params.stationary_bad_fraction
+        loss, final_bad = ge_outcome_block(bad0, ut, ul, params)
+        assert loss.shape == (n_chains, n_steps)
+        assert final_bad.shape == (n_chains,)
+        for i in range(n_chains):
+            row_loss, row_bad = ge_outcome_block(
+                bad0[i : i + 1], ut[i : i + 1], ul[i : i + 1], params
+            )
+            assert np.array_equal(loss[i], row_loss[0])
+            assert final_bad[i] == row_bad[0]
+
+    def test_matrix_matches_scalar_chain_walk(self):
+        """Each row agrees with the textbook one-step-at-a-time recurrence."""
+        params = GilbertElliottParams(0.2, 0.3, 0.05, 0.6)
+        rng = np.random.default_rng(5)
+        ut = rng.random((3, 40))
+        ul = rng.random((3, 40))
+        bad0 = np.array([False, True, False])
+        loss, final_bad = ge_outcome_block(bad0, ut, ul, params)
+        for i in range(3):
+            bad = bool(bad0[i])
+            for t in range(40):
+                flip = ut[i, t] < (
+                    params.p_bad_to_good if bad else params.p_good_to_bad
+                )
+                if flip:
+                    bad = not bad
+                expect = ul[i, t] < (
+                    params.loss_bad if bad else params.loss_good
+                )
+                assert loss[i, t] == expect
+            assert final_bad[i] == bad
+
+    def test_validation(self):
+        params = GilbertElliottParams()
+        with pytest.raises(ConfigurationError):
+            ge_outcome_block(
+                np.zeros(2, dtype=bool),
+                np.zeros((2, 3)),
+                np.zeros((2, 4)),
+                params,
+            )
+        with pytest.raises(ConfigurationError):
+            ge_outcome_block(
+                np.zeros(2, dtype=bool),
+                np.zeros((2, 0)),
+                np.zeros((2, 0)),
+                params,
+            )
+
+
+class TestInjectedGenerator:
+    def test_rng_injection_shares_the_stream(self):
+        """Channels built with rng= consume the shared generator in
+        construction order — the scalar-twin discipline of the fleet
+        engine: the same stream, drawn per-object, reproduces the
+        seed-constructed channels exactly."""
+        params = GilbertElliottParams(0.05, 0.08, 0.02, 0.7)
+        shared = np.random.default_rng(17)
+        a = GilbertElliottChannel(params, rng=shared)
+        b = GilbertElliottChannel(params, rng=shared)
+        # Reference: same stream, drawn manually.
+        ref_rng = np.random.default_rng(17)
+        ref_a = GilbertElliottChannel(params, rng=ref_rng)
+        ref_b = GilbertElliottChannel(params, rng=ref_rng)
+        trace = [(a.next_outcome(), b.next_outcome()) for _ in range(200)]
+        ref = [(ref_a.next_outcome(), ref_b.next_outcome()) for _ in range(200)]
+        assert trace == ref
+        assert (a.in_bad_state, b.in_bad_state) == (
+            ref_a.in_bad_state,
+            ref_b.in_bad_state,
+        )
 
 
 class TestBurstLengths:

@@ -23,6 +23,7 @@ from repro.sim.parallel import (
     derive_seeds,
     fleet_reports,
     fleet_simulations,
+    fleet_soa_rounds,
     parallel_map,
     run_campaigns,
     sweep,
@@ -204,6 +205,83 @@ class TestFleet:
     def test_event_count_validated(self, fleet):
         with pytest.raises(ConfigurationError):
             fleet_simulations(fleet, 0, SERIAL)
+
+
+class TestFleetSoaRounds:
+    """Sharded SoA fan-out == unsharded == serial, bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def soa_spec(self):
+        from repro.sim.channel import GilbertElliottParams as GE
+        from repro.sim.evaluate import PartitionMetrics
+        from repro.sim.fleetsoa import FleetConfig, FleetSpec
+
+        metrics = PartitionMetrics(
+            in_sensor=frozenset(),
+            sensor_compute_j=1e-6,
+            sensor_tx_j=1e-6,
+            sensor_rx_j=1e-7,
+            delay_front_s=1e-3,
+            delay_link_s=2e-3,
+            delay_back_s=1e-3,
+            aggregator_cpu_j=1e-6,
+            aggregator_radio_j=1e-6,
+            crossing_bits_up=256,
+            crossing_bits_down=0,
+        )
+        return FleetSpec.homogeneous(
+            6,
+            3,
+            metrics,
+            protocol="mixed",
+            config=FleetConfig(channel=GE(0.05, 0.10, 0.02, 0.7), seed=23),
+        )
+
+    def test_serial_process_and_direct_agree(self, soa_spec):
+        from repro.sim.fleetsoa import fleet_results_identical, simulate_fleet_soa
+
+        direct = simulate_fleet_soa(soa_spec, 4)
+        serial = fleet_soa_rounds(soa_spec, 4, config=SERIAL, shards=3)
+        process = fleet_soa_rounds(soa_spec, 4, config=PROCESS, shards=3)
+        assert fleet_results_identical(direct, serial)
+        assert fleet_results_identical(direct, process)
+
+    def test_shard_count_does_not_change_the_result(self, soa_spec):
+        from repro.sim.fleetsoa import fleet_results_identical
+
+        one = fleet_soa_rounds(soa_spec, 3, config=SERIAL, shards=1)
+        many = fleet_soa_rounds(soa_spec, 3, config=SERIAL, shards=6)
+        oversubscribed = fleet_soa_rounds(soa_spec, 3, config=SERIAL, shards=50)
+        assert fleet_results_identical(one, many)
+        assert fleet_results_identical(one, oversubscribed)
+
+    def test_supervised_fanout_identical(self, soa_spec):
+        from repro.sim.fleetsoa import fleet_results_identical, simulate_fleet_soa
+        from repro.sim.supervise import HealthPolicy
+
+        policy = HealthPolicy(
+            degraded_availability=0.95,
+            quarantine_availability=0.60,
+            quarantine_rounds=2,
+        )
+        direct = simulate_fleet_soa(soa_spec, 6, policy=policy)
+        sharded = fleet_soa_rounds(
+            soa_spec, 6, policy=policy, config=PROCESS, shards=3
+        )
+        assert fleet_results_identical(direct, sharded)
+        assert direct.health is not None
+
+    def test_empty_fleet_short_circuits(self, soa_spec):
+        empty = soa_spec.slice_networks(0, 0)
+        result = fleet_soa_rounds(empty, 2, config=SERIAL)
+        assert result.n_devices == 0
+        assert result.availability.shape == (2, 0)
+
+    def test_validation(self, soa_spec):
+        with pytest.raises(ConfigurationError):
+            fleet_soa_rounds(soa_spec, 0, config=SERIAL)
+        with pytest.raises(ConfigurationError):
+            fleet_soa_rounds(soa_spec, 2, config=SERIAL, shards=0)
 
 
 class TestCampaigns:
