@@ -3,9 +3,10 @@
 Times the vectorized hot paths against their scalar references — feature
 extraction, multi-level DWT, ensemble inference, the end-to-end segment
 pipeline, the warm-started generator fast path, the batch wire data
-plane (framing/CRC/Q16.16 codec) and the struct-of-arrays fleet engine
-(vs its per-object scalar twin) — and writes the machine-readable
-report to
+plane (framing/CRC/Q16.16 codec), the struct-of-arrays fleet engine
+(vs its per-object scalar twin) and the struct-of-arrays multi-stream
+ingestion engine (vs its per-stream scalar twin) — and writes the
+machine-readable report to
 ``benchmarks/results/BENCH_perf.json`` (``results-fast/`` under
 ``XPRO_BENCH_FAST=1``).  See ``docs/PERFORMANCE.md`` for the report
 schema and the gate semantics.
@@ -120,6 +121,29 @@ def test_fleet_speedup_floor(perf_report):
     if not FAST_MODE:
         assert case["n_items"] >= 10_000
     assert case["speedup"] >= 8.0, f"fleet speedup {case['speedup']:.2f} < 8"
+
+
+def test_streaming_speedup_floor(perf_report):
+    """Acceptance: >= 8x SoA multi-stream engine over the scalar twin.
+
+    Full mode runs >= 1000 concurrent streams on a heterogeneous
+    window/hop grid.  The equivalence flag asserts full bit-identity —
+    per-window scores, decisions, window sequencing and every
+    backpressure/rejection counter — via ``stream_results_identical``,
+    and the case carries p50/p99 per-window tick-latency extras in the
+    written report.
+    """
+    case = perf_report["cases"].get("streaming")
+    if case is None:
+        pytest.skip("streaming stage not collected in this run")
+    assert case["equivalent"], "SoA stream engine diverged from the scalar twin"
+    assert case["p50_window_latency_ms"] > 0.0
+    assert case["p99_window_latency_ms"] >= case["p50_window_latency_ms"]
+    if not FAST_MODE:
+        assert case["n_streams"] >= 1000
+        assert case["speedup"] >= 8.0, (
+            f"streaming speedup {case['speedup']:.2f} < 8"
+        )
 
 
 def test_regression_gate(perf_report):

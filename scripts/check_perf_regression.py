@@ -38,8 +38,8 @@ def main(argv: list[str] | None = None) -> int:
     fresh = load_perf_report(args.fresh)
     baseline = load_perf_report(args.baseline)
     # A stale baseline (e.g. missing a newly tracked stage such as
-    # fleet.speedup, the SoA-vs-scalar-twin fleet gate) would silently
-    # shrink the gate's coverage.
+    # fleet.speedup or streaming.speedup, the SoA-vs-scalar-twin gates)
+    # would silently shrink the gate's coverage.
     stale = [m for m in TRACKED_METRICS if m not in baseline.get("tracked", [])]
     if stale:
         print("perf regression gate FAILED:")

@@ -15,8 +15,8 @@ every tracked ratio to ~1x — still fails by an order of magnitude.
 
 Run this after intentionally changing hot-path performance — or after
 adding a tracked stage (the gate script rejects baselines missing one,
-e.g. ``fleet.speedup``, the SoA-vs-scalar-twin fleet gate) — and commit
-the refreshed JSON with the change.
+e.g. ``fleet.speedup`` or ``streaming.speedup``, the SoA-vs-scalar-twin
+gates) — and commit the refreshed JSON with the change.
 See docs/PERFORMANCE.md.
 """
 
@@ -47,10 +47,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.runs < 1:
         parser.error("--runs must be >= 1")
 
-    # Every run includes the fleet stage: fleet.speedup is tracked, so the
-    # multi-run minimum must observe it alongside the other ratios (the
-    # scalar-twin-vs-SoA bench runs in ~1 s, unlike the retired
-    # process-pool sweep that earned a first-run-only exemption).
+    # Every run includes the fleet and streaming stages: their speedups
+    # are tracked, so the multi-run minimum must observe them alongside
+    # the other ratios (each scalar-twin-vs-SoA bench runs in ~1 s,
+    # unlike the retired process-pool sweep that earned a first-run-only
+    # exemption).
     reports = []
     for i in range(args.runs):
         print(f"full run {i + 1}/{args.runs} ...", flush=True)

@@ -169,11 +169,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--fast", action="store_true",
-        help="CI smoke scale: single repeat, smaller fleet",
+        help="CI smoke scale: single repeat, smaller fleet and stream pool",
     )
     perf.add_argument(
         "--no-fleet", action="store_true",
         help="skip the (slower) parallel-fleet comparison",
+    )
+    perf.add_argument(
+        "--no-streaming", action="store_true",
+        help="skip the (scalar-twin-bound) multi-stream ingestion comparison",
     )
     perf.add_argument(
         "--stage", action="append", metavar="NAME", default=None,
@@ -648,10 +652,16 @@ def _cmd_perf(args: argparse.Namespace) -> str:
             "--no-fleet conflicts with --stage fleet: the fleet stage is "
             "both requested and excluded"
         )
+    if args.no_streaming and args.stage and "streaming" in args.stage:
+        raise ConfigurationError(
+            "--no-streaming conflicts with --stage streaming: the streaming "
+            "stage is both requested and excluded"
+        )
     report = collect_perf_report(
         fast=args.fast,
         repeats=args.repeats,
         include_fleet=not args.no_fleet,
+        include_streaming=not args.no_streaming,
         stages=args.stage,
     )
     lines = [

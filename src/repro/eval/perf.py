@@ -31,7 +31,17 @@ reference and the vectorised batch path — for each stage of the pipeline:
   (:func:`~repro.sim.fleetsoa.simulate_fleet_soa`, one ndarray per state
   field across 10^4 devices, block channel draws); its equivalence flag
   asserts the two paths are **bit-identical** (NaN-aware, same RNG draw
-  order) via :func:`~repro.sim.fleetsoa.fleet_results_identical`.
+  order) via :func:`~repro.sim.fleetsoa.fleet_results_identical`;
+- **streaming**: live multi-stream ingestion — the per-stream scalar twin
+  (:func:`~repro.stream.twin.run_twin`, Python ring buffers, per-sample
+  appends, one :class:`~repro.dsp.streaming.StreamingMoments` /
+  :class:`~repro.dsp.streaming.CrossingCounter` pass per window) vs the
+  struct-of-arrays pool (:func:`~repro.stream.engine.run_stream_pool`,
+  one ring block across ≥1000 concurrent streams, one batched scoring
+  call per tick); its equivalence flag asserts **bit-identical**
+  per-window scores, decisions and backpressure counters via
+  :func:`~repro.stream.engine.stream_results_identical`, and the case
+  carries per-window p50/p99 tick latency extras.
 
 Every benchmark first asserts the two paths agree (decision-identical or
 within float precision), so a timing run is also an equivalence check.
@@ -48,7 +58,7 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Sequence
 
@@ -75,6 +85,7 @@ TRACKED_METRICS = (
     "generator.speedup",
     "wire.speedup",
     "fleet.speedup",
+    "streaming.speedup",
 )
 
 #: Stage names accepted by :func:`collect_perf_report`'s ``stages`` filter.
@@ -86,6 +97,7 @@ ALL_STAGES = (
     "generator",
     "wire",
     "fleet",
+    "streaming",
 )
 
 #: Allowed fractional regression on a tracked metric before the gate fails.
@@ -116,6 +128,11 @@ class PerfCase:
         scalar_wall_s: Best wall time of the scalar reference path.
         batch_wall_s: Best wall time of the vectorised batch path.
         equivalent: Whether the two paths agreed on this run's data.
+        extras: Stage-specific metrics, reported under
+            ``"<name>.<key>"`` in the metrics dictionary (e.g. the
+            streaming stage's per-window tick-latency percentiles).
+            Extras are informational unless listed in
+            :data:`TRACKED_METRICS`.
     """
 
     name: str
@@ -123,6 +140,7 @@ class PerfCase:
     scalar_wall_s: float
     batch_wall_s: float
     equivalent: bool
+    extras: Dict[str, float] = field(default_factory=dict)
 
     @property
     def scalar_per_s(self) -> float:
@@ -149,6 +167,7 @@ class PerfCase:
             "batch_per_s": self.batch_per_s,
             "speedup": self.speedup,
             "equivalent": self.equivalent,
+            **{key: value for key, value in sorted(self.extras.items())},
         }
 
 
@@ -547,10 +566,103 @@ def bench_fleet(
     return PerfCase("fleet", spec.n_devices, scalar, batch, equivalent)
 
 
+def bench_streaming(
+    n_streams: int = 1024,
+    n_ticks: int = 8,
+    tick_samples: int = 32,
+    repeats: int = 1,
+    seed: int = 2025,
+) -> PerfCase:
+    """Time live multi-stream window scoring: scalar twin vs SoA pool.
+
+    One item is one emitted (scored) sliding window.  Both paths ingest
+    the identical ``(n_streams, n_ticks * tick_samples)`` sample matrix
+    on the identical tick cadence, over a heterogeneous window/hop grid
+    (windows cycling 64/96/128 samples, hops 16/24/32 — overlapping
+    windows at three rates, the AdaSense-style per-stream knobs):
+
+    - *scalar path*: :func:`~repro.stream.twin.run_twin` — one Python
+      ring buffer per stream, per-sample appends, one
+      :class:`~repro.dsp.streaming.StreamingMoments` /
+      :class:`~repro.dsp.streaming.CrossingCounter` pass per window (the
+      pre-SoA streaming shape);
+    - *batch path*: :func:`~repro.stream.engine.run_stream_pool` — one
+      ring-buffer ndarray block across all streams, one batched scoring
+      call per tick for all due windows at once.
+
+    ``equivalent`` asserts the full :class:`~repro.stream.engine.
+    StreamRunResult` — per-window scores, decisions, window sequencing
+    and every backpressure/rejection counter — is **bit-identical**
+    (NaN-aware) via :func:`~repro.stream.engine.
+    stream_results_identical`.  The case's extras carry p50/p99
+    per-window latency in milliseconds from an instrumented SoA run:
+    every window emitted by a tick is charged that tick's wall time
+    (ingest + gather + batched scoring), the serving-latency view of the
+    same work.  Both timings run on one core, so the ratio is
+    machine-portable and gated (``streaming.speedup`` in
+    :data:`TRACKED_METRICS`).
+    """
+    from repro.stream import (
+        MomentsBackend,
+        StreamPool,
+        StreamSpec,
+        run_stream_pool,
+        run_twin,
+        stream_results_identical,
+    )
+
+    if n_streams < 1 or n_ticks < 1 or tick_samples < 1:
+        raise ConfigurationError(
+            "n_streams, n_ticks and tick_samples must be positive"
+        )
+    idx = np.arange(n_streams)
+    spec = StreamSpec(
+        windows=np.asarray([64, 96, 128], dtype=np.int64)[idx % 3],
+        hops=np.asarray([16, 24, 32], dtype=np.int64)[idx % 3],
+        levels=np.zeros(n_streams),
+        tenants=idx % max(1, n_streams // 64),
+        capacity=256,
+    )
+    backend = MomentsBackend()
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(0.0, 1.0, (n_streams, n_ticks * tick_samples))
+
+    twin_result = run_twin(spec, backend, samples, tick_samples)
+    soa_result = run_stream_pool(spec, backend, samples, tick_samples)
+    equivalent = stream_results_identical(twin_result, soa_result)
+
+    # Instrumented SoA pass: per-tick wall time, charged to every window
+    # that tick emitted — the per-window serving latency.
+    pool = StreamPool(spec, backend)
+    latencies: List[float] = []
+    for t0 in range(0, samples.shape[1], tick_samples):
+        t_start = time.perf_counter()
+        pool.extend_block(samples[:, t0 : t0 + tick_samples])
+        emitted = len(pool.tick())
+        latencies.extend([time.perf_counter() - t_start] * emitted)
+    lat_ms = np.asarray(latencies) * 1e3
+    extras = {
+        "n_streams": float(n_streams),
+        "p50_window_latency_ms": float(np.percentile(lat_ms, 50)),
+        "p99_window_latency_ms": float(np.percentile(lat_ms, 99)),
+    }
+
+    scalar = _best_wall_s(
+        lambda: run_twin(spec, backend, samples, tick_samples), repeats
+    )
+    batch = _best_wall_s(
+        lambda: run_stream_pool(spec, backend, samples, tick_samples), repeats
+    )
+    return PerfCase(
+        "streaming", soa_result.n_windows, scalar, batch, equivalent, extras
+    )
+
+
 def collect_perf_report(
     fast: bool = False,
     repeats: int = 3,
     include_fleet: bool = True,
+    include_streaming: bool = True,
     stages: Sequence[str] | None = None,
 ) -> Dict[str, Any]:
     """Run every benchmark and assemble the machine-readable report.
@@ -560,10 +672,13 @@ def collect_perf_report(
     is directly comparable to the committed full-mode baseline.
 
     Args:
-        fast: CI smoke scale — single repeat and a smaller fleet.
+        fast: CI smoke scale — single repeat, a smaller fleet and a
+            smaller stream population.
         repeats: Best-of repeats per timed path (forced to 1 in fast mode).
         include_fleet: Whether to run the (slower, machine-dependent)
             fleet sweep comparison.
+        include_streaming: Whether to run the (scalar-twin-bound)
+            multi-stream ingestion comparison.
         stages: Optional subset of :data:`ALL_STAGES` to run (``None``
             runs them all).  Subset reports time faster but only carry
             the selected tracked metrics, so they serve smoke checks —
@@ -605,12 +720,27 @@ def collect_perf_report(
                 repeats=1,
             )
         )
+    if include_streaming and wanted("streaming"):
+        cases.append(
+            bench_streaming(
+                n_streams=256 if fast else 1024,
+                n_ticks=8,
+                tick_samples=32,
+                # Best-of-3 even in fast mode: the twin-vs-SoA ratio at
+                # one repeat is noisy enough (~4-13x observed) to graze
+                # the >= 8x acceptance floor and the CI gate cutoff on a
+                # busy machine, and the whole stage times in ~1 s.
+                repeats=3,
+            )
+        )
 
     metrics: Dict[str, float] = {}
     for case in cases:
         metrics[f"{case.name}.speedup"] = case.speedup
         metrics[f"{case.name}.scalar_per_s"] = case.scalar_per_s
         metrics[f"{case.name}.batch_per_s"] = case.batch_per_s
+        for key, value in case.extras.items():
+            metrics[f"{case.name}.{key}"] = value
     tracked = [name for name in TRACKED_METRICS if name in metrics]
     return {
         "schema": SCHEMA,

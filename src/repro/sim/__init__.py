@@ -92,6 +92,7 @@ from repro.sim.parallel import (
     fleet_soa_rounds,
     parallel_map,
     run_campaigns,
+    stream_soa_windows,
     sweep,
 )
 from repro.sim.simulator import CrossEndSimulator, SimulationReport
@@ -196,6 +197,7 @@ __all__ = [
     "simulate_discharge",
     "simulate_fleet_scalar",
     "simulate_fleet_soa",
+    "stream_soa_windows",
     "sweep",
     "event_period_s",
 ]

@@ -8,7 +8,9 @@ self-contained and carries its own seed, so the sweep is embarrassingly
 parallel — this module fans it across worker processes.  Population-scale
 fleets go through :func:`fleet_soa_rounds`, which shards the network axis
 of a struct-of-arrays :class:`~repro.sim.fleetsoa.FleetSpec` and ships the
-shared read-only columns once per worker.
+shared read-only columns once per worker; live stream populations go
+through :func:`stream_soa_windows`, which shards the stream axis of a
+:class:`~repro.stream.engine.StreamSpec` the same way.
 
 Determinism contract
 --------------------
@@ -333,6 +335,118 @@ def fleet_soa_rounds(
     finally:
         _init_fleet_shared(None, 0, None)  # don't leak serial-backend state
     return concat_fleet_results(parts)
+
+
+#: Per-process shared stream-pool state installed by
+#: :func:`_init_stream_shared`: the read-only spec columns, backend,
+#: sample matrix and tick cadence cross the process boundary once per
+#: worker instead of once per shard.
+_STREAM_SHARED: Dict[str, Any] = {}
+
+
+def _init_stream_shared(
+    spec: Any, backend: Any, samples: Any, tick_samples: int, policy: Any
+) -> None:
+    """Worker initializer: install the pool's shared read-only state."""
+    global _STREAM_SHARED
+    _STREAM_SHARED = {
+        "spec": spec,
+        "backend": backend,
+        "samples": samples,
+        "tick_samples": tick_samples,
+        "policy": policy,
+    }
+
+
+def _stream_soa_shard(bounds: Tuple[int, int]) -> Any:
+    """Worker: run one contiguous stream range of the shared pool."""
+    from repro.stream.engine import run_stream_pool
+
+    lo, hi = bounds
+    shared = _STREAM_SHARED
+    return run_stream_pool(
+        shared["spec"].slice_streams(lo, hi),
+        shared["backend"],
+        shared["samples"][lo:hi],
+        shared["tick_samples"],
+        policy=shared["policy"],
+    )
+
+
+def stream_soa_windows(
+    spec: Any,
+    backend: Any,
+    samples: Any,
+    tick_samples: int,
+    policy: str = "skip_stale",
+    config: Optional[ParallelConfig] = None,
+    shards: Optional[int] = None,
+) -> Any:
+    """Process-parallel struct-of-arrays multi-stream window scoring.
+
+    Shards the stream axis of a :class:`~repro.stream.engine.StreamSpec`
+    into contiguous ranges (one per worker by default), ships the shared
+    read-only spec columns, backend and sample matrix to each worker once
+    via the pool initializer, runs every range with
+    :func:`~repro.stream.engine.run_stream_pool` and stitches the shards
+    back into canonical stream order.
+
+    Streams are mutually independent — each consumes only its own sample
+    row and ring buffer — so the sharded result is **bit-identical** to
+    the unsharded one (and the serial backend to the process backend)
+    under :func:`~repro.stream.engine.stream_results_identical`.
+
+    Args:
+        spec: The stream population (:class:`~repro.stream.engine.
+            StreamSpec`).
+        backend: Picklable window scorer (e.g. :class:`~repro.stream.
+            engine.MomentsBackend`).
+        samples: ``(n_streams, T)`` sample matrix.
+        tick_samples: Samples ingested between scoring ticks.
+        policy: Backpressure policy (see :class:`~repro.stream.engine.
+            StreamPool`).
+        config: Execution configuration.
+        shards: Shard count override (default: resolved worker count).
+
+    Returns:
+        One stitched :class:`~repro.stream.engine.StreamRunResult`.
+    """
+    import numpy as _np
+
+    from repro.stream.engine import concat_stream_results, run_stream_pool
+
+    if tick_samples < 1:
+        raise ConfigurationError("tick_samples must be >= 1")
+    if shards is not None and shards < 1:
+        raise ConfigurationError("shards must be >= 1 when given")
+    config = config or ParallelConfig()
+    x = _np.asarray(samples, dtype=_np.float64)
+    if x.ndim != 2 or x.shape[0] != spec.n_streams:
+        raise ConfigurationError(
+            f"samples must be ({spec.n_streams}, T), got {x.shape}"
+        )
+    n_streams = spec.n_streams
+    n_shards = min(shards or config.resolved_workers(), n_streams)
+    if n_shards <= 1:
+        return run_stream_pool(spec, backend, x, tick_samples, policy=policy)
+    bounds = [
+        (
+            (s * n_streams) // n_shards,
+            ((s + 1) * n_streams) // n_shards,
+        )
+        for s in range(n_shards)
+    ]
+    try:
+        parts = parallel_map(
+            _stream_soa_shard,
+            bounds,
+            config,
+            initializer=_init_stream_shared,
+            initargs=(spec, backend, x, tick_samples, policy),
+        )
+    finally:
+        _init_stream_shared(None, None, None, 1, None)
+    return concat_stream_results(parts, [lo for lo, _ in bounds])
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,14 @@ class TestDomainErrors:
         assert err.startswith("error:")
         assert "fleet" in err
 
+    def test_conflicting_streaming_selectors_return_2(self, capsys):
+        """`perf --stage streaming --no-streaming` must error the same way."""
+        code = main(["perf", "--stage", "streaming", "--no-streaming"])
+        assert code == 2
+        err = _single_error_line(capsys.readouterr())
+        assert err.startswith("error:")
+        assert "streaming" in err
+
     def test_missing_replay_bundle_returns_2(self, capsys, tmp_path):
         code = main(["chaos", "--replay", str(tmp_path / "absent.json")])
         assert code == 2

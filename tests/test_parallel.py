@@ -284,6 +284,85 @@ class TestFleetSoaRounds:
             fleet_soa_rounds(soa_spec, 2, config=SERIAL, shards=0)
 
 
+class TestStreamSoaWindows:
+    """Sharded stream fan-out == unsharded == serial, bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def stream_case(self):
+        from repro.stream import MomentsBackend, StreamSpec
+
+        rng = np.random.default_rng(31)
+        n = 10
+        spec = StreamSpec(
+            windows=rng.integers(4, 24, n),
+            hops=rng.integers(1, 30, n),  # hop > window included
+            levels=rng.normal(0.0, 0.4, n),
+            tenants=rng.integers(0, 3, n),
+            capacity=32,
+        )
+        return spec, MomentsBackend(), rng.normal(0.0, 1.0, (n, 130))
+
+    def test_serial_process_and_direct_agree(self, stream_case):
+        from repro.sim.parallel import stream_soa_windows
+        from repro.stream import run_stream_pool, stream_results_identical
+
+        spec, backend, samples = stream_case
+        direct = run_stream_pool(spec, backend, samples, 16)
+        serial = stream_soa_windows(
+            spec, backend, samples, 16, config=SERIAL, shards=3
+        )
+        process = stream_soa_windows(
+            spec, backend, samples, 16, config=PROCESS, shards=3
+        )
+        assert stream_results_identical(direct, serial)
+        assert stream_results_identical(direct, process)
+
+    def test_shard_count_does_not_change_the_result(self, stream_case):
+        from repro.sim.parallel import stream_soa_windows
+        from repro.stream import stream_results_identical
+
+        spec, backend, samples = stream_case
+        one = stream_soa_windows(
+            spec, backend, samples, 16, config=SERIAL, shards=1
+        )
+        many = stream_soa_windows(
+            spec, backend, samples, 16, config=SERIAL, shards=10
+        )
+        oversubscribed = stream_soa_windows(
+            spec, backend, samples, 16, config=SERIAL, shards=50
+        )
+        assert stream_results_identical(one, many)
+        assert stream_results_identical(one, oversubscribed)
+
+    def test_backpressure_policies_shard_identically(self, stream_case):
+        from repro.sim.parallel import stream_soa_windows
+        from repro.stream import run_stream_pool, stream_results_identical
+
+        spec, backend, samples = stream_case
+        for policy in ("skip_stale", "drop_new"):
+            direct = run_stream_pool(spec, backend, samples, 40, policy=policy)
+            sharded = stream_soa_windows(
+                spec, backend, samples, 40, policy=policy,
+                config=SERIAL, shards=4,
+            )
+            assert stream_results_identical(direct, sharded)
+
+    def test_validation(self, stream_case):
+        from repro.sim.parallel import stream_soa_windows
+
+        spec, backend, samples = stream_case
+        with pytest.raises(ConfigurationError):
+            stream_soa_windows(spec, backend, samples, 0, config=SERIAL)
+        with pytest.raises(ConfigurationError):
+            stream_soa_windows(
+                spec, backend, samples, 8, config=SERIAL, shards=0
+            )
+        with pytest.raises(ConfigurationError):
+            stream_soa_windows(
+                spec, backend, samples[:4], 8, config=SERIAL
+            )
+
+
 class TestCampaigns:
     def _tasks(self, metrics_pair):
         primary, _ = metrics_pair

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.ml",
     "repro.signals",
     "repro.sim",
+    "repro.stream",
 ]
 
 

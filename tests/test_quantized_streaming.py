@@ -230,3 +230,98 @@ class TestCrossingCounter:
         fast.extend(seq[4:])
         assert fast.crossings == loop.crossings == 2
         assert fast._last_sign == loop._last_sign
+
+
+class TestExtendEdgeCases:
+    """Pins for the audited extend() edge cases: empty chunks,
+    single-sample chunks, and all-NaN chunks (the boundary shapes the
+    multi-stream ingestion engine feeds through these accumulators)."""
+
+    def test_moments_empty_ndarray_extend_is_noop(self):
+        acc = StreamingMoments()
+        acc.extend(np.asarray([1.0, 2.0]))
+        before = (acc.count, acc._s1, acc._s2, acc._s3, acc._s4,
+                  acc._max, acc._min)
+        acc.extend(np.empty(0))
+        acc.extend([])
+        assert (acc.count, acc._s1, acc._s2, acc._s3, acc._s4,
+                acc._max, acc._min) == before
+
+    def test_moments_empty_extend_on_fresh_accumulator(self):
+        acc = StreamingMoments()
+        acc.extend(np.empty(0))
+        assert acc.count == 0
+        with pytest.raises(ConfigurationError):
+            acc.finalize()  # still no samples: extrema sentinels protected
+
+    def test_moments_single_sample_extend_matches_update(self):
+        fast = StreamingMoments()
+        fast.extend(np.asarray([-2.5]))
+        loop = StreamingMoments()
+        loop.update(-2.5)
+        assert fast.finalize() == loop.finalize()
+
+    def test_moments_all_nan_chunk_raises_and_preserves_state(self):
+        acc = StreamingMoments()
+        acc.extend(np.asarray([1.0, 2.0]))
+        before = acc.finalize()
+        with pytest.raises(ConfigurationError):
+            acc.extend(np.asarray([math.nan, math.nan]))
+        # The burst fell back to the loop and raised on its first sample,
+        # so no partial NaN state leaked into the sums.
+        assert acc.count == 2
+        assert acc.finalize() == before
+
+    def test_moments_mixed_nan_chunk_keeps_prefix_like_the_loop(self):
+        fast = StreamingMoments()
+        with pytest.raises(ConfigurationError):
+            fast.extend(np.asarray([3.0, math.nan, 5.0]))
+        loop = StreamingMoments()
+        loop.update(3.0)
+        # The loop consumed the finite prefix before raising; the
+        # vectorized path must land in the identical partial state.
+        assert fast.count == loop.count == 1
+        assert fast.finalize() == loop.finalize()
+
+    def test_crossing_empty_extend_is_noop(self):
+        counter = CrossingCounter(0.0)
+        counter.extend(np.asarray([1.0, -1.0]))
+        counter.extend(np.empty(0))
+        counter.extend([])
+        assert counter.crossings == 1
+        assert counter._n == 2
+
+    def test_crossing_single_sample_extend_matches_update(self):
+        for first in (-1.0, 0.0, 1.0):
+            fast = CrossingCounter(0.0)
+            fast.extend(np.asarray([first]))
+            loop = CrossingCounter(0.0)
+            loop.update(first)
+            assert fast.crossings == loop.crossings == 0
+            assert fast._last_sign == loop._last_sign
+            assert fast._n == loop._n == 1
+
+    def test_crossing_all_nan_chunk_matches_loop(self):
+        """NaN compares False both ways, so an all-NaN chunk inherits the
+        previous sign sample-by-sample: zero crossings, but the sample
+        count still advances — identically in both paths."""
+        for warm in ([], [-1.0]):
+            fast = CrossingCounter(0.0)
+            fast.extend(np.asarray(warm, dtype=np.float64))
+            fast.extend(np.asarray([math.nan, math.nan, math.nan]))
+            loop = CrossingCounter(0.0)
+            for x in warm + [math.nan] * 3:
+                loop.update(x)
+            assert fast.crossings == loop.crossings == 0
+            assert fast._last_sign == loop._last_sign
+            assert fast._n == loop._n == len(warm) + 3
+
+    def test_crossing_nan_bridge_hides_a_crossing_in_both_paths(self):
+        seq = np.asarray([1.0, math.nan, -1.0, math.nan, -2.0])
+        loop = CrossingCounter(0.0)
+        for x in seq:
+            loop.update(x)
+        fast = CrossingCounter(0.0)
+        fast.extend(seq)
+        assert fast.crossings == loop.crossings == 1
+        assert fast._last_sign == loop._last_sign
