@@ -38,8 +38,9 @@ def main(argv: list[str] | None = None) -> int:
     fresh = load_perf_report(args.fresh)
     baseline = load_perf_report(args.baseline)
     # A stale baseline (e.g. missing a newly tracked stage such as
-    # fleet.speedup or streaming.speedup, the SoA-vs-scalar-twin gates)
-    # would silently shrink the gate's coverage.
+    # fleet.speedup / streaming.speedup, the SoA-vs-scalar-twin gates, or
+    # training.speedup, the fold-sliced-SMO-vs-reference gate) would
+    # silently shrink the gate's coverage.
     stale = [m for m in TRACKED_METRICS if m not in baseline.get("tracked", [])]
     if stale:
         print("perf regression gate FAILED:")

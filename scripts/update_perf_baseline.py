@@ -15,9 +15,13 @@ every tracked ratio to ~1x — still fails by an order of magnitude.
 
 Run this after intentionally changing hot-path performance — or after
 adding a tracked stage (the gate script rejects baselines missing one,
-e.g. ``fleet.speedup`` or ``streaming.speedup``, the SoA-vs-scalar-twin
-gates) — and commit the refreshed JSON with the change.
-See docs/PERFORMANCE.md.
+e.g. ``fleet.speedup`` / ``streaming.speedup``, the SoA-vs-scalar-twin
+gates, or ``training.speedup``, the fold-sliced-SMO-vs-reference gate) —
+and commit the refreshed JSON with the change.
+
+The training stage dominates full-run wall time: its scalar side is the
+pinned reference SMO at paper scale (100 draws x 10-fold CV), minutes
+per run by design.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations

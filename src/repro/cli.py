@@ -180,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the (scalar-twin-bound) multi-stream ingestion comparison",
     )
     perf.add_argument(
+        "--no-training", action="store_true",
+        help="skip the (reference-SMO-bound, slowest) subspace training comparison",
+    )
+    perf.add_argument(
         "--stage", action="append", metavar="NAME", default=None,
         help=(
             "run only this stage (repeatable; e.g. --stage generator); "
@@ -657,11 +661,17 @@ def _cmd_perf(args: argparse.Namespace) -> str:
             "--no-streaming conflicts with --stage streaming: the streaming "
             "stage is both requested and excluded"
         )
+    if args.no_training and args.stage and "training" in args.stage:
+        raise ConfigurationError(
+            "--no-training conflicts with --stage training: the training "
+            "stage is both requested and excluded"
+        )
     report = collect_perf_report(
         fast=args.fast,
         repeats=args.repeats,
         include_fleet=not args.no_fleet,
         include_streaming=not args.no_streaming,
+        include_training=not args.no_training,
         stages=args.stage,
     )
     lines = [

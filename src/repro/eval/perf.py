@@ -41,7 +41,18 @@ reference and the vectorised batch path — for each stage of the pipeline:
   call per tick); its equivalence flag asserts **bit-identical**
   per-window scores, decisions and backpressure counters via
   :func:`~repro.stream.engine.stream_results_identical`, and the case
-  carries per-window p50/p99 tick latency extras.
+  carries per-window p50/p99 tick latency extras;
+- **training**: the §4.4 subspace training protocol (``n_draws`` random
+  subspaces × 10-fold CV each, final refits, member selection, fusion)
+  — the pinned reference twin (fresh Gram per fold,
+  :meth:`~repro.ml.svm.SVMClassifier.fit_reference`'s per-index KKT
+  scan) vs the fast path (one fold-sliced Gram per draw through
+  :meth:`~repro.ml.kernels.Kernel.subspace_gram`, the cached-error
+  screened SMO of :meth:`~repro.ml.svm.SVMClassifier.fit`); its
+  equivalence flag asserts **decision-identical ensembles** — same
+  retained subsets, bitwise-equal dual coefficients and biases, same
+  ``used_feature_indices`` and identical predictions — on the timed
+  pair and (full mode) across all six Table-1 cases.
 
 Every benchmark first asserts the two paths agree (decision-identical or
 within float precision), so a timing run is also an equivalence check.
@@ -86,6 +97,7 @@ TRACKED_METRICS = (
     "wire.speedup",
     "fleet.speedup",
     "streaming.speedup",
+    "training.speedup",
 )
 
 #: Stage names accepted by :func:`collect_perf_report`'s ``stages`` filter.
@@ -98,6 +110,7 @@ ALL_STAGES = (
     "wire",
     "fleet",
     "streaming",
+    "training",
 )
 
 #: Allowed fractional regression on a tracked metric before the gate fails.
@@ -658,11 +671,155 @@ def bench_streaming(
     )
 
 
+def _ensembles_identical(ref, fast, X: np.ndarray) -> bool:
+    """Decision identity between two trained subspace ensembles.
+
+    Checks the full chain the training twin guarantees: same retained
+    subsets in the same order, bitwise-equal dual coefficients, biases,
+    support rows and validation accuracies per member, the same
+    ``used_feature_indices`` union, and identical predictions on ``X``.
+    """
+    if len(ref.members) != len(fast.members):
+        return False
+    for ma, mb in zip(ref.members, fast.members):
+        if ma.feature_indices != mb.feature_indices:
+            return False
+        ca, cb = ma.classifier, mb.classifier
+        if not (
+            np.array_equal(ca.dual_coef, cb.dual_coef)
+            and ca.bias == cb.bias
+            and np.array_equal(ca.support_indices, cb.support_indices)
+            and ma.validation_accuracy == mb.validation_accuracy
+        ):
+            return False
+    if ref.used_feature_indices() != fast.used_feature_indices():
+        return False
+    return bool(np.array_equal(ref.predict(X), fast.predict(X)))
+
+
+def _training_case_data(symbol: str, n_segments: int):
+    """Normalised feature matrix + labels for one Table-1 case."""
+    from repro.dsp.normalize import MinMaxNormalizer
+
+    dataset = load_case(symbol, n_segments=n_segments)
+    layout = FeatureLayout(segment_length=dataset.segment_length)
+    features = batch_extract_matrix(dataset.segments, layout)
+    return (
+        MinMaxNormalizer().fit(features).transform(features),
+        np.asarray(dataset.labels),
+    )
+
+
+def bench_training(
+    n_segments: int = 200,
+    n_draws: int = 100,
+    cv_folds: int = 10,
+    repeats: int = 1,
+    check_all_cases: bool = True,
+    seed: int = 42,
+) -> PerfCase:
+    """Time the §4.4 subspace training protocol: reference vs fast path.
+
+    One item is one subspace draw (each costing ``cv_folds`` fold fits
+    plus the final refit).  Both paths run the identical protocol on the
+    identical C1 feature matrix with the identical master seed:
+
+    - *scalar path*: ``fit(fast=False)`` — a fresh Gram matrix per fold
+      per draw, each SVM trained by the pinned
+      :meth:`~repro.ml.svm.SVMClassifier.fit_reference` per-index loop;
+    - *batch path*: ``fit()`` — one full-row Gram per draw
+      (:meth:`~repro.ml.kernels.Kernel.subspace_gram`, RBF squared-column
+      precompute shared across draws) sliced with ``np.ix_`` across all
+      folds, the refit and the validation scoring, each SVM trained by
+      the cached-error screened SMO.
+
+    ``equivalent`` asserts decision-identical ensembles (see
+    :func:`_ensembles_identical`) on the timed pair and — when
+    ``check_all_cases`` is set — on every Table-1 case at a reduced
+    scale, so a timing run is also a six-case twin check.  Extras carry
+    the protocol shape (``n_rows``, ``n_draws``, ``cv_folds``,
+    ``cases_checked``).
+
+    Args:
+        n_segments: Segments of the C1 dataset to train on.
+        n_draws: Random subspace draws (paper scale: 100).
+        cv_folds: CV folds per draw (paper: 10).
+        repeats: Best-of repeats per timed path (the reference path costs
+            minutes at paper scale, so the default times each path once).
+        check_all_cases: Also assert ref-vs-fast identity on all six
+            Table-1 cases at reduced scale (full-report mode).
+        seed: Master ensemble seed.
+    """
+    from repro.ml.subspace import RandomSubspaceClassifier
+
+    if n_segments < 40:
+        raise ConfigurationError("n_segments must be >= 40")
+    if n_draws < 1:
+        raise ConfigurationError("n_draws must be >= 1")
+    X, y = _training_case_data("C1", n_segments)
+
+    def make() -> RandomSubspaceClassifier:
+        return RandomSubspaceClassifier(
+            n_features=X.shape[1],
+            subspace_dim=12,
+            n_draws=n_draws,
+            keep_fraction=0.10,
+            C=1.0,
+            seed=seed,
+            cv_folds=cv_folds,
+        )
+
+    # The timed fits double as the equivalence pair: the reference path
+    # costs minutes at paper scale, so it is not fit a second time.
+    fitted: Dict[str, Any] = {}
+    scalar = _best_wall_s(
+        lambda: fitted.__setitem__("ref", make().fit(X, y, fast=False)), repeats
+    )
+    batch = _best_wall_s(
+        lambda: fitted.__setitem__("fast", make().fit(X, y)), repeats
+    )
+    equivalent = _ensembles_identical(fitted["ref"], fitted["fast"], X)
+
+    cases_checked = 1
+    if check_all_cases:
+        from repro.signals.datasets import CASE_ORDER
+
+        for symbol in CASE_ORDER:
+            Xc, yc = _training_case_data(symbol, 96)
+
+            def make_small() -> RandomSubspaceClassifier:
+                return RandomSubspaceClassifier(
+                    n_features=Xc.shape[1],
+                    subspace_dim=12,
+                    n_draws=4,
+                    keep_fraction=0.5,
+                    C=1.0,
+                    seed=seed,
+                    cv_folds=3,
+                )
+
+            equivalent = equivalent and _ensembles_identical(
+                make_small().fit(Xc, yc, fast=False),
+                make_small().fit(Xc, yc),
+                Xc,
+            )
+            cases_checked += 1
+
+    extras = {
+        "n_rows": float(len(X)),
+        "n_draws": float(n_draws),
+        "cv_folds": float(cv_folds),
+        "cases_checked": float(cases_checked),
+    }
+    return PerfCase("training", n_draws, scalar, batch, equivalent, extras)
+
+
 def collect_perf_report(
     fast: bool = False,
     repeats: int = 3,
     include_fleet: bool = True,
     include_streaming: bool = True,
+    include_training: bool = True,
     stages: Sequence[str] | None = None,
 ) -> Dict[str, Any]:
     """Run every benchmark and assemble the machine-readable report.
@@ -679,6 +836,8 @@ def collect_perf_report(
             fleet sweep comparison.
         include_streaming: Whether to run the (scalar-twin-bound)
             multi-stream ingestion comparison.
+        include_training: Whether to run the (reference-SMO-bound, by far
+            the slowest full-mode stage) subspace training comparison.
         stages: Optional subset of :data:`ALL_STAGES` to run (``None``
             runs them all).  Subset reports time faster but only carry
             the selected tracked metrics, so they serve smoke checks —
@@ -731,6 +890,19 @@ def collect_perf_report(
                 # the >= 8x acceptance floor and the CI gate cutoff on a
                 # busy machine, and the whole stage times in ~1 s.
                 repeats=3,
+            )
+        )
+    if include_training and wanted("training"):
+        cases.append(
+            bench_training(
+                n_segments=200,
+                # Paper scale (100 draws x 10-fold CV) costs the reference
+                # path minutes; fast mode trims the draw count, keeping
+                # the per-draw work — and therefore the ratio — intact.
+                n_draws=6 if fast else 100,
+                cv_folds=10,
+                repeats=1,
+                check_all_cases=not fast,
             )
         )
 

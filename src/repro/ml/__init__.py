@@ -23,10 +23,20 @@ from repro.ml.inference import EnsembleBatchScorer
 from repro.ml.kernels import Kernel, LinearKernel, RBFKernel
 from repro.ml.metrics import accuracy, confusion_matrix
 from repro.ml.multiclass import OneVsRestSubspaceClassifier
-from repro.ml.subspace import RandomSubspaceClassifier, SubspaceMember
+from repro.ml.subspace import (
+    RandomSubspaceClassifier,
+    SubspaceMember,
+    build_subspace_classifier,
+    fit_subspace_draw,
+)
 from repro.ml.svm import SVMClassifier
 from repro.ml.tuning import TuningResult, grid_search
-from repro.ml.validation import kfold_indices, train_test_split
+from repro.ml.validation import (
+    RepeatedProtocolResult,
+    kfold_indices,
+    repeated_protocol,
+    train_test_split,
+)
 
 __all__ = [
     "AdaBoostSVMClassifier",
@@ -37,6 +47,7 @@ __all__ = [
     "LinearKernel",
     "RBFKernel",
     "RandomSubspaceClassifier",
+    "RepeatedProtocolResult",
     "SVMClassifier",
     "SubspaceMember",
     "WeightedVotingFusion",
@@ -44,8 +55,11 @@ __all__ = [
     "TuningResult",
     "brier_score",
     "accuracy",
+    "build_subspace_classifier",
+    "fit_subspace_draw",
     "grid_search",
     "confusion_matrix",
     "kfold_indices",
+    "repeated_protocol",
     "train_test_split",
 ]

@@ -5,16 +5,54 @@ classifier (Section 4.4) and cites linear-kernel SVM as the limit of what a
 pure in-sensor design affords (Section 1).  Both kernels are provided, with
 an operation-count model so the SVM functional cell's energy cost can be
 derived from its support-vector count and input dimensionality.
+
+Slice stability
+---------------
+
+Gram matrices are *slice-stable*: every entry is a fixed-order reduction
+over the two input rows alone, never a function of which other rows share
+the call.  Concretely, for any row subset ``f``::
+
+    kernel(X, X)[np.ix_(f, f)]  ==  kernel(X[f], X[f])     # bitwise
+
+This is what lets the training fast path build **one** full-row Gram per
+subspace draw and slice it across all CV folds and the final refit with
+bit-identical entries (see :meth:`Kernel.subspace_gram`).  A plain BLAS
+``lhs @ rhs.T`` does *not* guarantee this — its blocking (and therefore
+its summation order) varies with the matrix shape — so the cross-product
+term is accumulated one rank-1 feature column at a time instead.
+
+Memory layout matters too: NumPy's axis reductions pick their summation
+order from the operand's strides (pairwise for a contiguous inner axis,
+sequential otherwise), and mixed basic/advanced indexing like
+``X[:, subset]`` yields an F-ordered array while ``X[np.ix_(rows,
+subset)]`` yields a C-ordered one.  Every kernel entry point therefore
+normalises its operands to C order before reducing, so the same row
+contents always produce the same bits regardless of how the caller
+sliced them out.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+
+def _cross_dot(lhs_m: np.ndarray, rhs_m: np.ndarray) -> np.ndarray:
+    """Slice-stable ``lhs_m @ rhs_m.T`` over 2-D float64 inputs.
+
+    Accumulates one rank-1 term per feature column, so entry ``(i, j)`` is
+    the fixed-order sum ``sum_f lhs_m[i, f] * rhs_m[j, f]`` — a function of
+    the two rows only, independent of the matrix shapes.
+    """
+    out = np.zeros((lhs_m.shape[0], rhs_m.shape[0]))
+    for f in range(lhs_m.shape[1]):
+        out += lhs_m[:, f, None] * rhs_m[None, :, f]
+    return out
 
 
 class Kernel(ABC):
@@ -37,6 +75,36 @@ class Kernel(ABC):
     def name(self) -> str:
         """Short kernel name for reports ("linear", "rbf")."""
 
+    # -- shared-precompute Gram protocol (training fast path) ---------------
+
+    def gram_precompute(self, features: np.ndarray) -> Optional[np.ndarray]:
+        """Per-column precomputation reusable across subspace draws.
+
+        Returns ``None`` when the kernel has nothing to share; the RBF
+        kernel returns the squared feature columns so per-draw row norms
+        reduce to a column-slice sum.
+        """
+        return None
+
+    def subspace_gram(
+        self,
+        features: np.ndarray,
+        subset,
+        pre: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Full-row Gram over a feature subset, bitwise equal to
+        ``self(features[:, subset], features[:, subset])``.
+
+        Args:
+            features: Full ``(n, d)`` feature matrix.
+            subset: Feature indices of the subspace draw.
+            pre: Optional result of :meth:`gram_precompute` on the same
+                matrix, shared across draws.
+        """
+        X = np.asarray(features, dtype=np.float64)
+        sub = np.asarray(subset, dtype=np.intp)
+        return self(X[:, sub], X[:, sub])
+
 
 class LinearKernel(Kernel):
     """The inner-product kernel ``k(x, z) = x . z``."""
@@ -46,9 +114,13 @@ class LinearKernel(Kernel):
         return "linear"
 
     def __call__(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        lhs_m = np.atleast_2d(np.asarray(lhs, dtype=np.float64))
-        rhs_m = np.atleast_2d(np.asarray(rhs, dtype=np.float64))
-        gram = lhs_m @ rhs_m.T
+        lhs_m = np.ascontiguousarray(np.atleast_2d(np.asarray(lhs, dtype=np.float64)))
+        rhs_m = np.ascontiguousarray(np.atleast_2d(np.asarray(rhs, dtype=np.float64)))
+        if lhs_m.shape[1] != rhs_m.shape[1]:
+            raise ConfigurationError(
+                f"dimension mismatch: {lhs_m.shape[1]} vs {rhs_m.shape[1]}"
+            )
+        gram = _cross_dot(lhs_m, rhs_m)
         if np.asarray(lhs).ndim == 1 and np.asarray(rhs).ndim == 1:
             return gram[0, 0]
         return gram
@@ -76,21 +148,56 @@ class RBFKernel(Kernel):
         return "rbf"
 
     def __call__(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        lhs_m = np.atleast_2d(np.asarray(lhs, dtype=np.float64))
-        rhs_m = np.atleast_2d(np.asarray(rhs, dtype=np.float64))
+        lhs_m = np.ascontiguousarray(np.atleast_2d(np.asarray(lhs, dtype=np.float64)))
+        rhs_m = np.ascontiguousarray(np.atleast_2d(np.asarray(rhs, dtype=np.float64)))
         if lhs_m.shape[1] != rhs_m.shape[1]:
             raise ConfigurationError(
                 f"dimension mismatch: {lhs_m.shape[1]} vs {rhs_m.shape[1]}"
             )
-        sq = (
-            (lhs_m**2).sum(axis=1)[:, None]
-            + (rhs_m**2).sum(axis=1)[None, :]
-            - 2.0 * lhs_m @ rhs_m.T
+        gram = self._assemble(
+            (lhs_m**2).sum(axis=1),
+            (rhs_m**2).sum(axis=1),
+            _cross_dot(lhs_m, rhs_m),
         )
-        gram = np.exp(-self.gamma * np.maximum(sq, 0.0))
         if np.asarray(lhs).ndim == 1 and np.asarray(rhs).ndim == 1:
             return gram[0, 0]
         return gram
+
+    def _assemble(
+        self, lhs_sq: np.ndarray, rhs_sq: np.ndarray, cross: np.ndarray
+    ) -> np.ndarray:
+        sq = lhs_sq[:, None] + rhs_sq[None, :] - 2.0 * cross
+        return np.exp(-self.gamma * np.maximum(sq, 0.0))
+
+    def gram_precompute(self, features: np.ndarray) -> np.ndarray:
+        """Squared feature columns; ``pre[:, subset].sum(axis=1)`` is
+        bitwise equal to ``(features[:, subset]**2).sum(axis=1)``."""
+        X = np.asarray(features, dtype=np.float64)
+        if X.ndim != 2:
+            raise ConfigurationError("features must be 2-D")
+        return X**2
+
+    def subspace_gram(
+        self,
+        features: np.ndarray,
+        subset,
+        pre: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        X = np.asarray(features, dtype=np.float64)
+        if X.ndim != 2:
+            raise ConfigurationError("features must be 2-D")
+        sub = np.asarray(subset, dtype=np.intp)
+        col_sq = self.gram_precompute(X) if pre is None else np.asarray(pre)
+        if col_sq.shape != X.shape:
+            raise ConfigurationError(
+                f"precompute shape {col_sq.shape} != features {X.shape}"
+            )
+        # C-order before reducing/accumulating: column-subset indexing
+        # yields F-ordered arrays, whose axis reductions sum in a
+        # different order (see the module docstring).
+        Xs = np.ascontiguousarray(X[:, sub])
+        norms = np.ascontiguousarray(col_sq[:, sub]).sum(axis=1)
+        return self._assemble(norms, norms, _cross_dot(Xs, Xs))
 
     def operation_counts(self, dimension: int) -> Dict[str, int]:
         if dimension <= 0:

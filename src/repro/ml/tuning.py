@@ -14,11 +14,14 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.ml.kernels import LinearKernel, RBFKernel
+from repro.errors import ConfigurationError, TrainingError
 from repro.ml.metrics import accuracy
-from repro.ml.subspace import RandomSubspaceClassifier
+from repro.ml.subspace import build_subspace_classifier
 from repro.ml.validation import kfold_indices
+
+#: Row keys added by the search itself; everything else in a row is a
+#: grid parameter (what ``best_params`` strips down to).
+_SCORE_KEYS = ("mean_accuracy", "std_accuracy", "failed_folds")
 
 
 @dataclass(frozen=True)
@@ -28,35 +31,13 @@ class TuningResult:
     Attributes:
         best_params: The winning parameter assignment.
         best_score: Its mean cross-validated accuracy.
-        rows: One dict per grid point (params + mean/std accuracy),
-            sorted best-first.
+        rows: One dict per grid point (params + mean/std accuracy +
+            ``failed_folds``), sorted best-first.
     """
 
     best_params: Dict[str, object]
     best_score: float
     rows: List[Dict[str, object]]
-
-
-def _make_classifier(
-    n_features: int, params: Dict[str, object], seed: int
-) -> RandomSubspaceClassifier:
-    kernel = params.get("kernel", "rbf")
-    gamma = float(params.get("gamma", 0.5))
-    if kernel == "rbf":
-        factory = lambda: RBFKernel(gamma=gamma)  # noqa: E731
-    elif kernel == "linear":
-        factory = lambda: LinearKernel()  # noqa: E731
-    else:
-        raise ConfigurationError(f"unknown kernel {kernel!r}")
-    return RandomSubspaceClassifier(
-        n_features=n_features,
-        subspace_dim=int(params.get("subspace_dim", 12)),
-        n_draws=int(params.get("n_draws", 20)),
-        keep_fraction=float(params.get("keep_fraction", 0.2)),
-        kernel_factory=factory,
-        C=float(params.get("C", 1.0)),
-        seed=seed,
-    )
 
 
 def grid_search(
@@ -65,8 +46,16 @@ def grid_search(
     grid: Dict[str, Sequence[object]],
     cv_folds: int = 3,
     seed: int = 0,
+    parallel=None,
 ) -> TuningResult:
     """Exhaustive grid search with k-fold cross-validated accuracy.
+
+    Fold indices depend only on ``(n_samples, cv_folds, seed)``, so they
+    are computed once and shared by every grid point.  A fold whose
+    training degenerates (:class:`~repro.errors.TrainingError`) is counted
+    in the row's ``failed_folds`` instead of being scored as chance — any
+    other exception propagates, since it signals a bug rather than a
+    degenerate fold.
 
     Args:
         features: Normalised feature matrix ``(n_samples, n_features)``.
@@ -76,6 +65,9 @@ def grid_search(
             ``kernel`` ("rbf"/"linear"), ``gamma``.
         cv_folds: Folds for scoring each grid point.
         seed: Seed for fold shuffling and classifier training.
+        parallel: Optional :class:`~repro.sim.parallel.ParallelConfig`
+            forwarded to each ensemble fit (fans subspace draws across
+            worker processes, bit-identical to serial).
 
     Returns:
         A :class:`TuningResult` with every grid point scored.
@@ -92,29 +84,42 @@ def grid_search(
     if unknown:
         raise ConfigurationError(f"unknown grid parameters: {sorted(unknown)}")
 
+    # Identical for every grid point: hoist out of the product loop.
+    fold_rng = np.random.default_rng(seed)
+    folds = [
+        (train_idx, val_idx)
+        for train_idx, val_idx in kfold_indices(len(X), cv_folds, fold_rng)
+        if len(np.unique(y[train_idx])) >= 2
+    ]
+
     names = sorted(grid)
     rows: List[Dict[str, object]] = []
     for values in product(*(grid[name] for name in names)):
         params = dict(zip(names, values))
         fold_scores: List[float] = []
-        fold_rng = np.random.default_rng(seed)
-        for train_idx, val_idx in kfold_indices(len(X), cv_folds, fold_rng):
-            if len(np.unique(y[train_idx])) < 2:
-                continue
-            clf = _make_classifier(X.shape[1], params, seed)
+        failed = 0
+        for train_idx, val_idx in folds:
+            clf = build_subspace_classifier(X.shape[1], params, seed=seed)
             try:
-                clf.fit(X[train_idx], y[train_idx])
-            except Exception:  # degenerate fold/parameters: score as chance
-                fold_scores.append(0.5)
+                clf.fit(X[train_idx], y[train_idx], parallel=parallel)
+            except TrainingError:  # degenerate fold/parameters
+                failed += 1
                 continue
             fold_scores.append(accuracy(y[val_idx], clf.predict(X[val_idx])))
         mean = float(np.mean(fold_scores)) if fold_scores else 0.0
         std = float(np.std(fold_scores)) if fold_scores else 0.0
-        rows.append({**params, "mean_accuracy": mean, "std_accuracy": std})
+        rows.append(
+            {
+                **params,
+                "mean_accuracy": mean,
+                "std_accuracy": std,
+                "failed_folds": failed,
+            }
+        )
 
     rows.sort(key=lambda r: r["mean_accuracy"], reverse=True)
     best = rows[0]
-    best_params = {k: v for k, v in best.items() if k not in ("mean_accuracy", "std_accuracy")}
+    best_params = {k: v for k, v in best.items() if k not in _SCORE_KEYS}
     return TuningResult(
         best_params=best_params,
         best_score=float(best["mean_accuracy"]),

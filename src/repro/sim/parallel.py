@@ -449,6 +449,106 @@ def stream_soa_windows(
     return concat_stream_results(parts, [lo for lo, _ in bounds])
 
 
+#: Per-process shared subspace-training state installed by
+#: :func:`_init_subspace_shared`: the feature matrix, labels, kernel and
+#: split indices cross the process boundary once per worker instead of
+#: once per draw.
+_SUBSPACE_SHARED: Dict[str, Any] = {}
+
+
+def _init_subspace_shared(payload: Dict[str, Any]) -> None:
+    """Worker initializer: install the training run's shared state."""
+    global _SUBSPACE_SHARED
+    _SUBSPACE_SHARED = payload
+
+
+def _subspace_draw_task(task: Tuple[Any, int, int]) -> Any:
+    """Worker: train and score one subspace draw on the shared state."""
+    from repro.ml.subspace import fit_subspace_draw
+
+    subset, member_seed, fold_seed = task
+    shared = _SUBSPACE_SHARED
+    return fit_subspace_draw(
+        shared["X"],
+        shared["y"],
+        subset,
+        shared["kernel"],
+        shared["C"],
+        member_seed,
+        fold_seed,
+        shared["cv_folds"],
+        shared["fit_idx"],
+        shared["val_idx"],
+        shared["pre"],
+    )
+
+
+def subspace_draws(
+    X: Any,
+    y: Any,
+    subsets: Sequence[Any],
+    seeds: Sequence[Tuple[int, int]],
+    kernel: Any,
+    C: float,
+    cv_folds: Optional[int],
+    fit_idx: Any,
+    val_idx: Any,
+    config: Optional[ParallelConfig] = None,
+) -> List[Any]:
+    """Process-parallel training of the random-subspace draws.
+
+    Ships ``(X, y, kernel, split indices)`` and the kernel's shared
+    per-column Gram precompute to each worker once via the pool
+    initializer, then fans one
+    :func:`~repro.ml.subspace.fit_subspace_draw` task per draw.  Every
+    draw carries its own ``(member_seed, fold_seed)`` pair and never
+    touches shared RNG state, so the member list is **bit-identical** to
+    the serial path — results come back in draw order, never completion
+    order.
+
+    Args:
+        X: Full ``(n, d)`` normalised feature matrix.
+        y: Binary {0, 1} labels.
+        subsets: Pre-drawn feature-index tuples, one per draw.
+        seeds: Per-draw ``(member_seed, fold_seed)`` pairs.
+        kernel: Kernel instance shared by every draw (picklable).
+        C: Soft-margin penalty.
+        cv_folds: ``None`` for the holdout protocol, else the CV fold count.
+        fit_idx: Holdout training rows.
+        val_idx: Holdout validation rows.
+        config: Execution configuration.
+
+    Returns:
+        One :class:`~repro.ml.subspace.SubspaceMember` (or ``None`` for an
+        untrainable draw) per subset, in draw order.
+    """
+    if len(subsets) != len(seeds):
+        raise ConfigurationError("subsets and seeds must pair up one per draw")
+    payload = {
+        "X": X,
+        "y": y,
+        "kernel": kernel,
+        "C": C,
+        "cv_folds": cv_folds,
+        "fit_idx": fit_idx,
+        "val_idx": val_idx,
+        "pre": kernel.gram_precompute(X),
+    }
+    tasks = [
+        (subsets[d], seeds[d][0], seeds[d][1]) for d in range(len(subsets))
+    ]
+    try:
+        return parallel_map(
+            _subspace_draw_task,
+            tasks,
+            config,
+            initializer=_init_subspace_shared,
+            initargs=(payload,),
+        )
+    finally:
+        _init_subspace_shared({})  # don't leak serial-backend state
+
+
 @dataclass(frozen=True)
 class CampaignTask:
     """One seeded fault-injection campaign to run against one simulator.

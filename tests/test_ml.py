@@ -87,6 +87,18 @@ class TestSVM:
         scores = svm.decision_function(X)
         assert np.array_equal((scores > 0).astype(int), svm.predict(X))
 
+    def test_decision_function_shapes(self, rng):
+        """1-D query -> scalar score / int prediction; 2-D -> 1-D arrays."""
+        X, y = _blobs(rng)
+        svm = SVMClassifier().fit(X, y)
+        single = svm.decision_function(X[0])
+        batch = svm.decision_function(X[:3])
+        assert np.ndim(single) == 0
+        assert batch.shape == (3,)
+        assert float(single) == pytest.approx(float(batch[0]), rel=1e-12)
+        assert isinstance(svm.predict(X[0]), int)
+        assert svm.predict(X[:3]).shape == (3,)
+
     def test_single_class_rejected(self, rng):
         X = rng.normal(size=(10, 2))
         with pytest.raises(TrainingError):
